@@ -1,0 +1,53 @@
+// Benchrunner regenerates every experiment table in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchrunner             # run all experiments
+//	benchrunner -exp E6,E13 # run a subset
+//	benchrunner -list       # list experiments and the claims they test
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kbharvest/internal/experiments"
+)
+
+func main() {
+	expFlag := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
+		}
+		return
+	}
+
+	selected := experiments.All()
+	if *expFlag != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("=== %s: %s\n", e.ID, e.Claim)
+		t0 := time.Now()
+		for _, tab := range e.Run() {
+			fmt.Println(tab.String())
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+}

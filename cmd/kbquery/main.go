@@ -1,0 +1,74 @@
+// Kbquery loads a KB snapshot and evaluates conjunctive triple-pattern
+// queries against it.
+//
+// Usage:
+//
+//	kbquery -kb kb.nt '?p kb:founded ?c' '?c kb:locatedIn ?city'
+//
+// Each argument is one "s p o" pattern; ?name marks variables, bare
+// tokens are IRIs, double-quoted strings are literals. Patterns are
+// joined on shared variables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"kbharvest/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kbquery: ")
+	kbPath := flag.String("kb", "", "KB snapshot path (required)")
+	limit := flag.Int("limit", 25, "maximum rows to print (0 = all)")
+	flag.Parse()
+	if *kbPath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: kbquery -kb snapshot.nt 'pattern' ...")
+		os.Exit(2)
+	}
+	f, err := os.Open(*kbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := core.NewStore()
+	n, err := st.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d facts\n", n)
+
+	bindings, err := st.QueryStrings(flag.Args())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(bindings) == 0 {
+		fmt.Println("no results")
+		return
+	}
+	// Stable variable order and row order.
+	var vars []core.Var
+	for v := range bindings[0] {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	core.SortBindings(bindings, vars...)
+	for i, b := range bindings {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("... (%d more rows)\n", len(bindings)-i)
+			break
+		}
+		for j, v := range vars {
+			if j > 0 {
+				fmt.Print("  ")
+			}
+			fmt.Printf("?%s=%s", v, b[v])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d rows\n", len(bindings))
+}

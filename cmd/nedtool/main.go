@@ -1,0 +1,101 @@
+// Nedtool disambiguates entity mentions in free text against the models
+// built by the construction pipeline (§4 of the tutorial).
+//
+// Usage:
+//
+//	nedtool "Venn joined Acme Systems after leaving the university."
+//	nedtool -mode joint -scale 0.5 "text with mentions ..."
+//
+// With no arguments it reads text from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"kbharvest/internal/ned"
+	"kbharvest/internal/pipeline"
+	"kbharvest/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nedtool: ")
+	scale := flag.Float64("scale", 0.5, "world scale for model building")
+	seed := flag.Int64("seed", 42, "world seed")
+	modeFlag := flag.String("mode", "joint", "disambiguation mode: prior | context | joint")
+	topK := flag.Int("top", 3, "candidates to show per mention")
+	flag.Parse()
+
+	var mode ned.Mode
+	switch *modeFlag {
+	case "prior":
+		mode = ned.PriorOnly
+	case "context":
+		mode = ned.PriorContext
+	case "joint":
+		mode = ned.Joint
+	default:
+		log.Fatalf("unknown mode %q", *modeFlag)
+	}
+
+	text := strings.Join(flag.Args(), " ")
+	if text == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		text = string(data)
+	}
+	if strings.TrimSpace(text) == "" {
+		log.Fatal("no input text")
+	}
+
+	opt := pipeline.DefaultOptions()
+	opt.World = synth.DefaultConfig().Scaled(*scale)
+	opt.Seed = *seed
+	res, err := pipeline.Run(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	linker := res.Linker()
+
+	detected := res.Dictionary.DetectMentions(text, 3)
+	if len(detected) == 0 {
+		fmt.Println("no known mentions found")
+		return
+	}
+	mentions := make([]ned.Mention, len(detected))
+	for i, d := range detected {
+		mentions[i] = ned.Mention{Surface: d.Surface, Context: window(text, d.Start, d.End, 150)}
+	}
+	results := linker.Disambiguate(mentions, mode)
+	fmt.Printf("mode: %s\n", mode)
+	for i, r := range results {
+		fmt.Printf("%-24q -> ", detected[i].Surface)
+		if r.NoCandidate {
+			fmt.Println("(no candidate)")
+			continue
+		}
+		fmt.Printf("%s (score %.3f)\n", r.Entity, r.Score)
+		for _, c := range linker.TopCandidates(mentions[i], *topK) {
+			fmt.Printf("    candidate %-30s %.3f\n", c.Entity, c.Prior)
+		}
+	}
+}
+
+func window(s string, start, end, radius int) string {
+	lo := start - radius
+	if lo < 0 {
+		lo = 0
+	}
+	hi := end + radius
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return s[lo:hi]
+}

@@ -1,0 +1,52 @@
+package kbharvest_test
+
+import (
+	"fmt"
+	"log"
+
+	"kbharvest"
+)
+
+// ExampleBuild shows the minimal end-to-end flow: construct a KB from the
+// synthetic corpus and ask it a join query. (Entity names are generated,
+// so the example prints only stable aggregates.)
+func ExampleBuild() {
+	opt := kbharvest.DefaultBuildOptions()
+	opt.World = kbharvest.WorldConfig{
+		People: 40, Companies: 10, Cities: 8, Countries: 3,
+		Universities: 4, Products: 8, Prizes: 3,
+	}
+	opt.Seed = 7
+	result, err := kbharvest.Build(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := result.KB.QueryStrings([]string{
+		"?person kb:founded ?company",
+		"?company kb:locatedIn ?city",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(rows) > 0)
+	// Output: true
+}
+
+// ExampleKB_QueryStrings demonstrates the conjunctive query syntax on a
+// hand-built KB.
+func ExampleKB_QueryStrings() {
+	kb := kbharvest.NewKB()
+	kb.Add(kbharvest.T("kb:Jobs", "kb:founded", "kb:Apple"))
+	kb.Add(kbharvest.T("kb:Apple", "kb:locatedIn", "kb:Cupertino"))
+	rows, err := kb.QueryStrings([]string{
+		"?p kb:founded ?c",
+		"?c kb:locatedIn ?city",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range rows {
+		fmt.Printf("%s founded %s in %s\n", b["p"].Value, b["c"].Value, b["city"].Value)
+	}
+	// Output: kb:Jobs founded kb:Apple in kb:Cupertino
+}

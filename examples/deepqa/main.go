@@ -1,0 +1,153 @@
+// Deepqa answers natural-language questions over the knowledge base —
+// the "deep question answering" application the tutorial's introduction
+// names among the knowledge-centric services a KB enables (§1).
+//
+// Question templates are parsed into conjunctive triple-pattern queries
+// and evaluated by the KB's query engine; entity names in questions are
+// resolved through the NED dictionary.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"kbharvest"
+	"kbharvest/internal/core"
+)
+
+// question pairs a recognizer with a query builder.
+type question struct {
+	prefix string // lowercase question prefix
+	suffix string
+	build  func(entity string) []core.Pattern
+	render func(b core.Binding) string
+}
+
+var questions = []question{
+	{
+		prefix: "who founded ",
+		build: func(e string) []core.Pattern {
+			return []core.Pattern{{S: core.PVar("x"), P: core.PIRI("kb:founded"), O: core.PIRI(e)}}
+		},
+		render: func(b core.Binding) string { return clean(b["x"].Value) },
+	},
+	{
+		prefix: "where was ", suffix: " born",
+		build: func(e string) []core.Pattern {
+			return []core.Pattern{{S: core.PIRI(e), P: core.PIRI("kb:bornIn"), O: core.PVar("x")}}
+		},
+		render: func(b core.Binding) string { return clean(b["x"].Value) },
+	},
+	{
+		prefix: "who is married to ",
+		build: func(e string) []core.Pattern {
+			return []core.Pattern{{S: core.PIRI(e), P: core.PIRI("kb:marriedTo"), O: core.PVar("x")}}
+		},
+		render: func(b core.Binding) string { return clean(b["x"].Value) },
+	},
+	{
+		prefix: "which companies are located in ",
+		build: func(e string) []core.Pattern {
+			return []core.Pattern{
+				{S: core.PVar("x"), P: core.PIRI("kb:locatedIn"), O: core.PIRI(e)},
+				{S: core.PVar("x"), P: core.PIRI("rdf:type"), O: core.PIRI("kb:company")},
+			}
+		},
+		render: func(b core.Binding) string { return clean(b["x"].Value) },
+	},
+	{
+		prefix: "who works at ",
+		build: func(e string) []core.Pattern {
+			return []core.Pattern{{S: core.PVar("x"), P: core.PIRI("kb:worksAt"), O: core.PIRI(e)}}
+		},
+		render: func(b core.Binding) string { return clean(b["x"].Value) },
+	},
+	{
+		prefix: "what did ", suffix: " win",
+		build: func(e string) []core.Pattern {
+			return []core.Pattern{{S: core.PIRI(e), P: core.PIRI("kb:wonPrize"), O: core.PVar("x")}}
+		},
+		render: func(b core.Binding) string { return clean(b["x"].Value) },
+	},
+}
+
+func main() {
+	log.SetFlags(0)
+	opt := kbharvest.DefaultBuildOptions()
+	opt.World = kbharvest.WorldConfig{
+		People: 80, Companies: 20, Cities: 10, Countries: 3,
+		Universities: 8, Products: 15, Prizes: 5,
+	}
+	result, err := kbharvest.Build(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pose one question of each kind about real entities of the world.
+	w := result.World
+	asks := []string{
+		"Who founded " + w.Companies[0].Name + "?",
+		"Where was " + w.People[0].Name + " born?",
+		"Who is married to " + firstMarried(result) + "?",
+		"Which companies are located in " + w.Cities[0].Name + "?",
+		"Who works at " + w.Companies[1].Name + "?",
+		"What did " + firstWinner(result) + " win?",
+	}
+	for _, q := range asks {
+		fmt.Printf("Q: %s\n", q)
+		answers := answer(result, q)
+		if len(answers) == 0 {
+			fmt.Println("A: (no answer found)")
+		} else {
+			fmt.Printf("A: %s\n", strings.Join(answers, "; "))
+		}
+		fmt.Println()
+	}
+}
+
+// answer parses the question, resolves the entity name via the NED
+// dictionary, runs the query, and renders answers.
+func answer(result *kbharvest.BuildResult, q string) []string {
+	lq := strings.ToLower(strings.TrimSuffix(strings.TrimSpace(q), "?"))
+	for _, tmpl := range questions {
+		if !strings.HasPrefix(lq, tmpl.prefix) || !strings.HasSuffix(lq, tmpl.suffix) {
+			continue
+		}
+		name := strings.TrimSpace(q[len(tmpl.prefix) : len(lq)-len(tmpl.suffix)])
+		cands := result.Dictionary.Candidates(name)
+		if len(cands) == 0 {
+			return nil
+		}
+		entity := cands[0].Entity
+		var out []string
+		seen := map[string]bool{}
+		for _, b := range result.KB.Query(tmpl.build(entity)) {
+			a := tmpl.render(b)
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+func clean(iri string) string {
+	return strings.ReplaceAll(strings.TrimPrefix(iri, "kb:"), "_", " ")
+}
+
+func firstMarried(result *kbharvest.BuildResult) string {
+	for _, f := range result.World.FactsOf("kb:marriedTo") {
+		return result.World.ByID[f.S].Name
+	}
+	return result.World.People[0].Name
+}
+
+func firstWinner(result *kbharvest.BuildResult) string {
+	for _, f := range result.World.FactsOf("kb:wonPrize") {
+		return result.World.ByID[f.S].Name
+	}
+	return result.World.People[0].Name
+}

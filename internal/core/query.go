@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kbharvest/internal/rdf"
+)
+
+// A minimal conjunctive query engine in the spirit of SPARQL basic graph
+// patterns. The tutorial's target applications — "deep question answering
+// and semantic search and analytics over entities and relations" (§1) —
+// reduce to evaluating small joins over the KB; this engine powers the
+// deepqa example and the kbquery tool.
+
+// Var is a query variable. Variables are written "?name".
+type Var string
+
+// Pattern is one triple pattern whose positions are either constants
+// (rdf.Term) or variables (Var), encoded as strings starting with '?'.
+type Pattern struct {
+	S, P, O PatternTerm
+}
+
+// PatternTerm is one position of a Pattern: a constant or a variable.
+type PatternTerm struct {
+	Const rdf.Term
+	Var   Var // non-empty means variable
+}
+
+// PVar returns a variable pattern term.
+func PVar(name string) PatternTerm { return PatternTerm{Var: Var(name)} }
+
+// PIRI returns a constant IRI pattern term.
+func PIRI(iri string) PatternTerm { return PatternTerm{Const: rdf.NewIRI(iri)} }
+
+// PTerm returns a constant pattern term.
+func PTerm(t rdf.Term) PatternTerm { return PatternTerm{Const: t} }
+
+// ParsePatternTerm parses "?x" as a variable, "<iri>" or a bare token as an
+// IRI, and a double-quoted string as a plain literal.
+func ParsePatternTerm(s string) (PatternTerm, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return PatternTerm{}, fmt.Errorf("core: empty pattern term")
+	case strings.HasPrefix(s, "?"):
+		if len(s) == 1 {
+			return PatternTerm{}, fmt.Errorf("core: empty variable name")
+		}
+		return PVar(s[1:]), nil
+	case strings.HasPrefix(s, "<") && strings.HasSuffix(s, ">"):
+		return PIRI(s[1 : len(s)-1]), nil
+	case strings.HasPrefix(s, `"`) && strings.HasSuffix(s, `"`) && len(s) >= 2:
+		return PTerm(rdf.NewLiteral(s[1 : len(s)-1])), nil
+	default:
+		return PIRI(s), nil
+	}
+}
+
+// ParsePattern parses a whitespace-separated "s p o" pattern line.
+func ParsePattern(line string) (Pattern, error) {
+	fields := strings.Fields(strings.TrimSuffix(strings.TrimSpace(line), " ."))
+	// Literals may contain spaces; re-join quoted fields.
+	fields = rejoinQuoted(fields)
+	if len(fields) != 3 {
+		return Pattern{}, fmt.Errorf("core: pattern needs 3 terms, got %d in %q", len(fields), line)
+	}
+	s, err := ParsePatternTerm(fields[0])
+	if err != nil {
+		return Pattern{}, err
+	}
+	p, err := ParsePatternTerm(fields[1])
+	if err != nil {
+		return Pattern{}, err
+	}
+	o, err := ParsePatternTerm(fields[2])
+	if err != nil {
+		return Pattern{}, err
+	}
+	return Pattern{S: s, P: p, O: o}, nil
+}
+
+func rejoinQuoted(fields []string) []string {
+	var out []string
+	for i := 0; i < len(fields); i++ {
+		f := fields[i]
+		if strings.HasPrefix(f, `"`) && !strings.HasSuffix(f, `"`) {
+			j := i + 1
+			for ; j < len(fields); j++ {
+				f += " " + fields[j]
+				if strings.HasSuffix(fields[j], `"`) {
+					break
+				}
+			}
+			i = j
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Binding maps variable names to terms.
+type Binding map[Var]rdf.Term
+
+func (b Binding) clone() Binding {
+	c := make(Binding, len(b)+1)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Query evaluates a conjunction of patterns and returns all bindings.
+// Patterns are greedily reordered so that the most selective (fewest
+// unbound variables given current bindings) executes first.
+func (st *Store) Query(patterns []Pattern) []Binding {
+	results := []Binding{make(Binding)}
+	remaining := append([]Pattern(nil), patterns...)
+	for len(remaining) > 0 {
+		// Pick the pattern with the fewest unbound variables under any
+		// current binding (they all share the same bound-variable set
+		// domain, so inspect the first).
+		bestIdx, bestUnbound := 0, 4
+		var probe Binding
+		if len(results) > 0 {
+			probe = results[0]
+		}
+		for i, p := range remaining {
+			u := unboundCount(p, probe)
+			if u < bestUnbound {
+				bestUnbound, bestIdx = u, i
+			}
+		}
+		p := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+
+		var next []Binding
+		for _, b := range results {
+			st.matchPattern(p, b, func(nb Binding) {
+				next = append(next, nb)
+			})
+		}
+		results = next
+		if len(results) == 0 {
+			return nil
+		}
+	}
+	return results
+}
+
+func unboundCount(p Pattern, b Binding) int {
+	n := 0
+	for _, pt := range []PatternTerm{p.S, p.P, p.O} {
+		if pt.Var != "" {
+			if _, ok := b[pt.Var]; !ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (st *Store) matchPattern(p Pattern, b Binding, emit func(Binding)) {
+	resolve := func(pt PatternTerm) (rdf.Term, Var) {
+		if pt.Var == "" {
+			return pt.Const, ""
+		}
+		if t, ok := b[pt.Var]; ok {
+			return t, ""
+		}
+		return rdf.Term{}, pt.Var
+	}
+	sc, sv := resolve(p.S)
+	pc, pv := resolve(p.P)
+	oc, ov := resolve(p.O)
+	st.MatchFunc(rdf.Triple{S: sc, P: pc, O: oc}, func(_ FactID, t rdf.Triple) bool {
+		nb := b.clone()
+		if sv != "" {
+			nb[sv] = t.S
+		}
+		if pv != "" {
+			if sv == pv && nb[sv] != t.P {
+				return true
+			}
+			nb[pv] = t.P
+		}
+		if ov != "" {
+			if (sv == ov && nb[sv] != t.O) || (pv == ov && nb[pv] != t.O) {
+				return true
+			}
+			nb[ov] = t.O
+		}
+		emit(nb)
+		return true
+	})
+}
+
+// QueryStrings evaluates patterns written as "s p o" lines (see
+// ParsePattern) — the format the kbquery tool accepts.
+func (st *Store) QueryStrings(lines []string) ([]Binding, error) {
+	patterns := make([]Pattern, 0, len(lines))
+	for _, l := range lines {
+		p, err := ParsePattern(l)
+		if err != nil {
+			return nil, err
+		}
+		patterns = append(patterns, p)
+	}
+	return st.Query(patterns), nil
+}
+
+// SortBindings orders bindings deterministically by the given variables
+// (useful for tests and stable tool output).
+func SortBindings(bs []Binding, vars ...Var) {
+	sort.Slice(bs, func(i, j int) bool {
+		for _, v := range vars {
+			if c := bs[i][v].Compare(bs[j][v]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+
+	"kbharvest/internal/rdf"
+)
+
+func buildQueryFixture() *Store {
+	st := NewStore()
+	st.Add(rdf.T("jobs", "founded", "apple"))
+	st.Add(rdf.T("jobs", "founded", "next"))
+	st.Add(rdf.T("wozniak", "founded", "apple"))
+	st.Add(rdf.T("gates", "founded", "microsoft"))
+	st.Add(rdf.T("apple", "locatedIn", "cupertino"))
+	st.Add(rdf.T("microsoft", "locatedIn", "redmond"))
+	st.Add(rdf.T("next", "locatedIn", "redwood"))
+	st.AddType("jobs", "person")
+	st.AddType("wozniak", "person")
+	st.AddType("gates", "person")
+	return st
+}
+
+func TestQuerySinglePattern(t *testing.T) {
+	st := buildQueryFixture()
+	got := st.Query([]Pattern{{S: PVar("x"), P: PIRI("founded"), O: PIRI("apple")}})
+	if len(got) != 2 {
+		t.Fatalf("got %d bindings, want 2", len(got))
+	}
+	SortBindings(got, "x")
+	if got[0]["x"].Value != "jobs" || got[1]["x"].Value != "wozniak" {
+		t.Errorf("bindings = %v", got)
+	}
+}
+
+func TestQueryJoin(t *testing.T) {
+	st := buildQueryFixture()
+	// Who founded a company located in redmond?
+	got := st.Query([]Pattern{
+		{S: PVar("p"), P: PIRI("founded"), O: PVar("c")},
+		{S: PVar("c"), P: PIRI("locatedIn"), O: PIRI("redmond")},
+	})
+	if len(got) != 1 {
+		t.Fatalf("got %d bindings, want 1: %v", len(got), got)
+	}
+	if got[0]["p"].Value != "gates" || got[0]["c"].Value != "microsoft" {
+		t.Errorf("binding = %v", got[0])
+	}
+}
+
+func TestQueryThreeWayJoin(t *testing.T) {
+	st := buildQueryFixture()
+	// People and the cities of companies they founded.
+	got := st.Query([]Pattern{
+		{S: PVar("p"), P: PIRI(rdf.RDFType), O: PIRI("person")},
+		{S: PVar("p"), P: PIRI("founded"), O: PVar("c")},
+		{S: PVar("c"), P: PIRI("locatedIn"), O: PVar("city")},
+	})
+	if len(got) != 4 {
+		t.Fatalf("got %d rows, want 4: %v", len(got), got)
+	}
+	SortBindings(got, "p", "city")
+	if got[0]["p"].Value != "gates" || got[0]["city"].Value != "redmond" {
+		t.Errorf("first row = %v", got[0])
+	}
+}
+
+func TestQueryNoResults(t *testing.T) {
+	st := buildQueryFixture()
+	got := st.Query([]Pattern{
+		{S: PVar("x"), P: PIRI("founded"), O: PIRI("nonexistent")},
+	})
+	if got != nil {
+		t.Errorf("want nil, got %v", got)
+	}
+	// Join that dies at second pattern.
+	got = st.Query([]Pattern{
+		{S: PVar("x"), P: PIRI("founded"), O: PVar("c")},
+		{S: PVar("c"), P: PIRI("locatedIn"), O: PIRI("nowhere")},
+	})
+	if got != nil {
+		t.Errorf("want nil, got %v", got)
+	}
+}
+
+func TestQueryRepeatedVariable(t *testing.T) {
+	st := NewStore()
+	st.Add(rdf.T("a", "knows", "a")) // self loop
+	st.Add(rdf.T("a", "knows", "b"))
+	got := st.Query([]Pattern{{S: PVar("x"), P: PIRI("knows"), O: PVar("x")}})
+	if len(got) != 1 || got[0]["x"].Value != "a" {
+		t.Errorf("self-loop query = %v", got)
+	}
+}
+
+func TestQueryVariablePredicate(t *testing.T) {
+	st := buildQueryFixture()
+	got := st.Query([]Pattern{{S: PIRI("jobs"), P: PVar("r"), O: PVar("y")}})
+	if len(got) != 3 {
+		t.Errorf("got %d rows, want 3", len(got))
+	}
+}
+
+func TestQueryEmptyPatternList(t *testing.T) {
+	st := buildQueryFixture()
+	got := st.Query(nil)
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("empty query should yield one empty binding, got %v", got)
+	}
+}
+
+func TestParsePatternTerm(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantVar Var
+		wantIRI string
+		wantLit string
+		wantErr bool
+	}{
+		{"?x", "x", "", "", false},
+		{"<kb:founded>", "", "kb:founded", "", false},
+		{"kb:founded", "", "kb:founded", "", false},
+		{`"Steve Jobs"`, "", "", "Steve Jobs", false},
+		{"?", "", "", "", true},
+		{"", "", "", "", true},
+	}
+	for _, c := range cases {
+		got, err := ParsePatternTerm(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParsePatternTerm(%q) should fail", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePatternTerm(%q): %v", c.in, err)
+			continue
+		}
+		switch {
+		case c.wantVar != "":
+			if got.Var != c.wantVar {
+				t.Errorf("ParsePatternTerm(%q).Var = %q", c.in, got.Var)
+			}
+		case c.wantIRI != "":
+			if !got.Const.IsIRI() || got.Const.Value != c.wantIRI {
+				t.Errorf("ParsePatternTerm(%q) = %v", c.in, got.Const)
+			}
+		case c.wantLit != "":
+			if !got.Const.IsLiteral() || got.Const.Value != c.wantLit {
+				t.Errorf("ParsePatternTerm(%q) = %v", c.in, got.Const)
+			}
+		}
+	}
+}
+
+func TestQueryStrings(t *testing.T) {
+	st := buildQueryFixture()
+	got, err := st.QueryStrings([]string{
+		"?p founded ?c",
+		"?c locatedIn cupertino",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortBindings(got, "p")
+	if len(got) != 2 || got[0]["p"].Value != "jobs" || got[1]["p"].Value != "wozniak" {
+		t.Errorf("QueryStrings = %v", got)
+	}
+	if _, err := st.QueryStrings([]string{"only two"}); err == nil {
+		t.Error("malformed pattern should error")
+	}
+}
+
+// Property: two-pattern joins agree with a brute-force nested-loop join
+// over random stores.
+func TestQueryJoinAgreesWithBruteForce(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	rels := []string{"p", "q"}
+	rnd := func(seed int64) *Store {
+		st := NewStore()
+		x := uint64(seed)
+		next := func(n int) int {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			return int(x % uint64(n))
+		}
+		for i := 0; i < 30; i++ {
+			st.Add(rdf.T(names[next(4)], rels[next(2)], names[next(4)]))
+		}
+		return st
+	}
+	for seed := int64(1); seed <= 25; seed++ {
+		st := rnd(seed)
+		got := st.Query([]Pattern{
+			{S: PVar("x"), P: PIRI("p"), O: PVar("y")},
+			{S: PVar("y"), P: PIRI("q"), O: PVar("z")},
+		})
+		// Brute force.
+		var want int
+		for _, t1 := range st.Match(rdf.Triple{P: rdf.NewIRI("p")}) {
+			for _, t2 := range st.Match(rdf.Triple{P: rdf.NewIRI("q")}) {
+				if t1.O == t2.S {
+					want++
+				}
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("seed %d: join returned %d rows, brute force %d", seed, len(got), want)
+		}
+		// Every binding satisfies both patterns.
+		for _, b := range got {
+			if !st.Has(rdf.Triple{S: b["x"], P: rdf.NewIRI("p"), O: b["y"]}) ||
+				!st.Has(rdf.Triple{S: b["y"], P: rdf.NewIRI("q"), O: b["z"]}) {
+				t.Fatalf("seed %d: invalid binding %v", seed, b)
+			}
+		}
+	}
+}
+
+func TestQueryStringsWithLiteralSpaces(t *testing.T) {
+	st := NewStore()
+	st.Add(rdf.TL("jobs", "label", "Steve Jobs"))
+	got, err := st.QueryStrings([]string{`?x label "Steve Jobs"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0]["x"].Value != "jobs" {
+		t.Errorf("literal-with-space query = %v", got)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"kbharvest/internal/rdf"
+)
+
+// Snapshot persistence. The format is N-Triples for the facts plus "#!meta"
+// comment lines carrying per-fact metadata, so a snapshot is simultaneously
+// a valid N-Triples document (other tools can read it, ignoring comments)
+// and a lossless dump of the store.
+//
+// Layout:
+//
+//	<s> <p> <o> .
+//	#!meta <conf> <begin> <end> <source...>
+//
+// A meta line applies to the immediately preceding fact line.
+
+// Save writes the store to w. Facts appear in insertion order.
+func (st *Store) Save(w io.Writer) error {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	for id, et := range st.triples {
+		if st.dead[id] {
+			continue
+		}
+		if _, err := bw.WriteString(st.decode(et).String()); err != nil {
+			return fmt.Errorf("core: save: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("core: save: %w", err)
+		}
+		if m, ok := st.meta[FactID(id)]; ok {
+			line := fmt.Sprintf("#!meta %g %d %d %s\n", m.Confidence, m.Time.Begin, m.Time.End, m.Source)
+			if _, err := bw.WriteString(line); err != nil {
+				return fmt.Errorf("core: save: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot produced by Save into an empty-or-existing store.
+// It returns the number of facts loaded.
+func (st *Store) Load(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	n := 0
+	lineNo := 0
+	last := NoFact
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "#!meta "):
+			if last == NoFact {
+				return n, fmt.Errorf("core: load: line %d: meta without preceding fact", lineNo)
+			}
+			info, err := parseMetaLine(line)
+			if err != nil {
+				return n, fmt.Errorf("core: load: line %d: %w", lineNo, err)
+			}
+			st.SetInfo(last, info)
+		case strings.HasPrefix(line, "#"):
+			continue
+		default:
+			t, err := rdf.ParseTriple(line)
+			if err != nil {
+				return n, fmt.Errorf("core: load: line %d: %w", lineNo, err)
+			}
+			last = st.Add(t)
+			n++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("core: load: %w", err)
+	}
+	return n, nil
+}
+
+func parseMetaLine(line string) (FactInfo, error) {
+	fields := strings.SplitN(strings.TrimPrefix(line, "#!meta "), " ", 4)
+	if len(fields) < 3 {
+		return FactInfo{}, fmt.Errorf("malformed meta line %q", line)
+	}
+	conf, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return FactInfo{}, fmt.Errorf("confidence: %w", err)
+	}
+	begin, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return FactInfo{}, fmt.Errorf("begin: %w", err)
+	}
+	end, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return FactInfo{}, fmt.Errorf("end: %w", err)
+	}
+	src := ""
+	if len(fields) == 4 {
+		src = fields[3]
+	}
+	return FactInfo{Confidence: conf, Source: src, Time: Interval{begin, end}}, nil
+}

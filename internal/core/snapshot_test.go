@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"kbharvest/internal/rdf"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	st := NewStore()
+	id1 := st.Add(rdf.T("jobs", "founded", "apple"))
+	st.Add(rdf.Triple{S: rdf.NewIRI("jobs"), P: rdf.NewIRI("label"), O: rdf.NewLangLiteral("Steve Jobs", "en")})
+	id3 := st.Add(rdf.Triple{S: rdf.NewIRI("jobs"), P: rdf.NewIRI("born"), O: rdf.NewTypedLiteral("1955-02-24", rdf.XSDDate)})
+	st.SetInfo(id1, FactInfo{Confidence: 0.8, Source: "patterns:a1", Time: Interval{100, 900}})
+	st.SetInfo(id3, FactInfo{Confidence: 0.95, Source: "infobox", Time: Always})
+
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	st2 := NewStore()
+	n, err := st2.Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if n != 3 || st2.Len() != 3 {
+		t.Fatalf("loaded %d facts, Len %d", n, st2.Len())
+	}
+	id, ok := st2.FactOf(rdf.T("jobs", "founded", "apple"))
+	if !ok {
+		t.Fatal("fact missing after load")
+	}
+	info, _ := st2.Info(id)
+	if info.Confidence != 0.8 || info.Source != "patterns:a1" || info.Time != (Interval{100, 900}) {
+		t.Errorf("meta after load = %+v", info)
+	}
+	// The unannotated fact gets defaults.
+	id2, _ := st2.FactOf(rdf.Triple{S: rdf.NewIRI("jobs"), P: rdf.NewIRI("label"), O: rdf.NewLangLiteral("Steve Jobs", "en")})
+	info2, _ := st2.Info(id2)
+	if info2.Confidence != 1 || info2.Time != Always {
+		t.Errorf("default meta after load = %+v", info2)
+	}
+}
+
+func TestSnapshotSkipsTombstones(t *testing.T) {
+	st := NewStore()
+	st.Add(rdf.T("a", "p", "b"))
+	st.Add(rdf.T("a", "p", "c"))
+	st.Remove(rdf.T("a", "p", "b"))
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2 := NewStore()
+	if n, err := st2.Load(&buf); err != nil || n != 1 {
+		t.Fatalf("Load = %d, %v", n, err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"meta first", "#!meta 0.5 0 1 src\n"},
+		{"bad conf", "<a> <p> <b> .\n#!meta notanumber 0 1 src\n"},
+		{"bad begin", "<a> <p> <b> .\n#!meta 0.5 x 1 src\n"},
+		{"bad end", "<a> <p> <b> .\n#!meta 0.5 0 y src\n"},
+		{"short meta", "<a> <p> <b> .\n#!meta 0.5\n"},
+		{"bad triple", "<a> <p>\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			st := NewStore()
+			if _, err := st.Load(strings.NewReader(c.in)); err == nil {
+				t.Errorf("Load(%q) should fail", c.in)
+			}
+		})
+	}
+}
+
+func TestLoadIgnoresPlainComments(t *testing.T) {
+	in := "# header comment\n<a> <p> <b> .\n# tail\n"
+	st := NewStore()
+	n, err := st.Load(strings.NewReader(in))
+	if err != nil || n != 1 {
+		t.Fatalf("Load = %d, %v", n, err)
+	}
+}
+
+func TestSnapshotRoundTripQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	names := []string{"e1", "e2", "e3", "e4", "rel_a", "rel_b"}
+	for trial := 0; trial < 20; trial++ {
+		st := NewStore()
+		for i := 0; i < 50; i++ {
+			id := st.Add(rdf.T(names[r.Intn(4)], names[4+r.Intn(2)], names[r.Intn(4)]))
+			if r.Intn(2) == 0 {
+				st.SetInfo(id, FactInfo{
+					Confidence: float64(r.Intn(100)) / 100,
+					Source:     "src with spaces",
+					Time:       Interval{r.Intn(100), 100 + r.Intn(100)},
+				})
+			}
+		}
+		var buf bytes.Buffer
+		if err := st.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		st2 := NewStore()
+		if _, err := st2.Load(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if st2.Len() != st.Len() {
+			t.Fatalf("trial %d: Len %d != %d", trial, st2.Len(), st.Len())
+		}
+		for _, tr := range st.All() {
+			if !st2.Has(tr) {
+				t.Fatalf("trial %d: missing %v", trial, tr)
+			}
+			idA, _ := st.FactOf(tr)
+			idB, _ := st2.FactOf(tr)
+			ia, _ := st.Info(idA)
+			ib, _ := st2.Info(idB)
+			if ia != ib {
+				t.Fatalf("trial %d: meta mismatch %+v != %+v", trial, ia, ib)
+			}
+		}
+	}
+}

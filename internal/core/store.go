@@ -1,0 +1,462 @@
+// Package core implements the knowledge base itself: a dictionary-encoded
+// in-memory triple store with the three index permutations needed to answer
+// any triple pattern, per-fact metadata (confidence, provenance, temporal
+// scope), taxonomy operations over rdf:type / rdfs:subClassOf, a small
+// conjunctive (SPARQL-BGP-style) query engine, and snapshot persistence.
+//
+// This is the substrate every other module of the reproduction reads from
+// and writes to — the role that the RDF stores behind DBpedia, YAGO, and
+// Freebase play in the tutorial (§2).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"kbharvest/internal/rdf"
+)
+
+// ID is a dictionary-encoded term identifier. IDs are dense and start at 1;
+// 0 is reserved as "no term" / wildcard.
+type ID uint32
+
+// FactID identifies one asserted triple inside a Store. FactIDs are dense
+// and start at 0; they stay stable for the lifetime of the store (facts are
+// tombstoned, not compacted, on removal).
+type FactID uint32
+
+// NoFact is returned by lookups that find no fact.
+const NoFact = FactID(^uint32(0))
+
+type encTriple struct {
+	s, p, o ID
+}
+
+// Store is an in-memory knowledge base. It is safe for concurrent use.
+//
+// The zero value is not usable; call NewStore.
+type Store struct {
+	mu sync.RWMutex
+
+	dict  map[rdf.Term]ID
+	terms []rdf.Term // ID -> term; index 0 unused
+
+	triples []encTriple // FactID -> triple
+	dead    []bool      // FactID -> tombstone
+	index   map[encTriple]FactID
+
+	// Three permutations cover all bound/unbound pattern combinations:
+	// spo answers (s ? ?) and (s p ?); pos answers (? p ?) and (? p o);
+	// osp answers (? ? o) and (s ? o).
+	spo map[ID]map[ID][]FactID // s -> p -> facts
+	pos map[ID]map[ID][]FactID // p -> o -> facts
+	osp map[ID]map[ID][]FactID // o -> s -> facts
+
+	meta map[FactID]*FactInfo
+
+	live int
+}
+
+// NewStore returns an empty knowledge base.
+func NewStore() *Store {
+	return &Store{
+		dict:  make(map[rdf.Term]ID),
+		terms: make([]rdf.Term, 1),
+		index: make(map[encTriple]FactID),
+		spo:   make(map[ID]map[ID][]FactID),
+		pos:   make(map[ID]map[ID][]FactID),
+		osp:   make(map[ID]map[ID][]FactID),
+		meta:  make(map[FactID]*FactInfo),
+	}
+}
+
+// intern returns the ID for a term, allocating one if needed.
+// Caller must hold mu for writing.
+func (st *Store) intern(t rdf.Term) ID {
+	if id, ok := st.dict[t]; ok {
+		return id
+	}
+	id := ID(len(st.terms))
+	st.terms = append(st.terms, t)
+	st.dict[t] = id
+	return id
+}
+
+// lookup returns the ID for a term, or 0 if the term is unknown or a
+// wildcard (zero Term). Caller must hold mu for reading.
+func (st *Store) lookup(t rdf.Term) (ID, bool) {
+	if t.IsZero() {
+		return 0, true // wildcard
+	}
+	id, ok := st.dict[t]
+	return id, ok
+}
+
+// Term returns the term for an ID. The zero ID yields the zero Term.
+func (st *Store) Term(id ID) rdf.Term {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if int(id) >= len(st.terms) {
+		return rdf.Term{}
+	}
+	return st.terms[id]
+}
+
+// TermID returns the dictionary ID for a term, or false if it has never
+// been seen by this store.
+func (st *Store) TermID(t rdf.Term) (ID, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	id, ok := st.dict[t]
+	return id, ok
+}
+
+// Add asserts a triple and returns its FactID. Adding an existing live
+// triple is idempotent and returns the original FactID.
+func (st *Store) Add(t rdf.Triple) FactID {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.addLocked(t)
+}
+
+func (st *Store) addLocked(t rdf.Triple) FactID {
+	et := encTriple{st.intern(t.S), st.intern(t.P), st.intern(t.O)}
+	if id, ok := st.index[et]; ok && !st.dead[id] {
+		return id
+	}
+	id := FactID(len(st.triples))
+	st.triples = append(st.triples, et)
+	st.dead = append(st.dead, false)
+	st.index[et] = id
+	addIdx(st.spo, et.s, et.p, id)
+	addIdx(st.pos, et.p, et.o, id)
+	addIdx(st.osp, et.o, et.s, id)
+	st.live++
+	return id
+}
+
+// AddAll asserts every triple, returning the fact IDs in order.
+func (st *Store) AddAll(ts []rdf.Triple) []FactID {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ids := make([]FactID, len(ts))
+	for i, t := range ts {
+		ids[i] = st.addLocked(t)
+	}
+	return ids
+}
+
+func addIdx(idx map[ID]map[ID][]FactID, a, b ID, f FactID) {
+	m, ok := idx[a]
+	if !ok {
+		m = make(map[ID][]FactID)
+		idx[a] = m
+	}
+	m[b] = append(m[b], f)
+}
+
+// Remove retracts a triple. It reports whether the triple was present.
+// The fact's ID is tombstoned; indexes drop it lazily during queries.
+func (st *Store) Remove(t rdf.Triple) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok1 := st.dict[t.S]
+	p, ok2 := st.dict[t.P]
+	o, ok3 := st.dict[t.O]
+	if !ok1 || !ok2 || !ok3 {
+		return false
+	}
+	id, ok := st.index[encTriple{s, p, o}]
+	if !ok || st.dead[id] {
+		return false
+	}
+	st.dead[id] = true
+	delete(st.meta, id)
+	st.live--
+	return true
+}
+
+// RemoveFact retracts the fact with the given ID, reporting whether it was
+// live.
+func (st *Store) RemoveFact(id FactID) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if int(id) >= len(st.triples) || st.dead[id] {
+		return false
+	}
+	st.dead[id] = true
+	delete(st.meta, id)
+	st.live--
+	return true
+}
+
+// Has reports whether the triple is asserted.
+func (st *Store) Has(t rdf.Triple) bool {
+	_, ok := st.FactOf(t)
+	return ok
+}
+
+// FactOf returns the FactID of an asserted triple.
+func (st *Store) FactOf(t rdf.Triple) (FactID, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s, ok1 := st.dict[t.S]
+	p, ok2 := st.dict[t.P]
+	o, ok3 := st.dict[t.O]
+	if !ok1 || !ok2 || !ok3 {
+		return NoFact, false
+	}
+	id, ok := st.index[encTriple{s, p, o}]
+	if !ok || st.dead[id] {
+		return NoFact, false
+	}
+	return id, true
+}
+
+// Fact returns the triple for a FactID; ok is false for tombstoned or
+// out-of-range IDs.
+func (st *Store) Fact(id FactID) (rdf.Triple, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if int(id) >= len(st.triples) || st.dead[id] {
+		return rdf.Triple{}, false
+	}
+	return st.decode(st.triples[id]), true
+}
+
+func (st *Store) decode(et encTriple) rdf.Triple {
+	return rdf.Triple{S: st.terms[et.s], P: st.terms[et.p], O: st.terms[et.o]}
+}
+
+// Len returns the number of live facts.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.live
+}
+
+// TermCount returns the number of distinct terms in the dictionary.
+func (st *Store) TermCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.terms) - 1
+}
+
+// Match returns every live fact matching the pattern. Zero-valued terms
+// (rdf.Term{}) act as wildcards. Results are in fact-insertion order.
+func (st *Store) Match(pattern rdf.Triple) []rdf.Triple {
+	var out []rdf.Triple
+	st.MatchFunc(pattern, func(_ FactID, t rdf.Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// MatchFacts is Match but returns fact IDs.
+func (st *Store) MatchFacts(pattern rdf.Triple) []FactID {
+	var out []FactID
+	st.MatchFunc(pattern, func(id FactID, _ rdf.Triple) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// MatchFunc streams every live fact matching the pattern to fn, stopping
+// early if fn returns false.
+func (st *Store) MatchFunc(pattern rdf.Triple, fn func(FactID, rdf.Triple) bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s, ok := st.lookup(pattern.S)
+	if !ok {
+		return
+	}
+	p, ok := st.lookup(pattern.P)
+	if !ok {
+		return
+	}
+	o, ok := st.lookup(pattern.O)
+	if !ok {
+		return
+	}
+	st.matchIDs(s, p, o, func(id FactID) bool {
+		return fn(id, st.decode(st.triples[id]))
+	})
+}
+
+// matchIDs enumerates live fact IDs matching the encoded pattern (0 =
+// wildcard). Caller must hold mu for reading.
+func (st *Store) matchIDs(s, p, o ID, fn func(FactID) bool) {
+	emit := func(ids []FactID) bool {
+		for _, id := range ids {
+			if st.dead[id] {
+				continue
+			}
+			if !fn(id) {
+				return false
+			}
+		}
+		return true
+	}
+	switch {
+	case s != 0 && p != 0 && o != 0:
+		if id, ok := st.index[encTriple{s, p, o}]; ok && !st.dead[id] {
+			fn(id)
+		}
+	case s != 0 && p != 0:
+		emit(st.spo[s][p])
+	case s != 0 && o != 0:
+		// osp answers (s ? o).
+		for _, id := range st.osp[o][s] {
+			if st.dead[id] {
+				continue
+			}
+			if !fn(id) {
+				return
+			}
+		}
+	case s != 0:
+		for _, pm := range sortedKeys(st.spo[s]) {
+			if !emit(st.spo[s][pm]) {
+				return
+			}
+		}
+	case p != 0 && o != 0:
+		emit(st.pos[p][o])
+	case p != 0:
+		for _, om := range sortedKeys(st.pos[p]) {
+			if !emit(st.pos[p][om]) {
+				return
+			}
+		}
+	case o != 0:
+		for _, sm := range sortedKeys(st.osp[o]) {
+			if !emit(st.osp[o][sm]) {
+				return
+			}
+		}
+	default:
+		for id := range st.triples {
+			if st.dead[id] {
+				continue
+			}
+			if !fn(FactID(id)) {
+				return
+			}
+		}
+	}
+}
+
+func sortedKeys(m map[ID][]FactID) []ID {
+	keys := make([]ID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Objects returns the distinct objects of facts (s, p, ?).
+func (st *Store) Objects(s, p string) []rdf.Term {
+	var out []rdf.Term
+	seen := make(map[rdf.Term]bool)
+	st.MatchFunc(rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(p)}, func(_ FactID, t rdf.Triple) bool {
+		if !seen[t.O] {
+			seen[t.O] = true
+			out = append(out, t.O)
+		}
+		return true
+	})
+	return out
+}
+
+// Subjects returns the distinct subjects of facts (?, p, o) where o is an
+// IRI.
+func (st *Store) Subjects(p, o string) []rdf.Term {
+	var out []rdf.Term
+	seen := make(map[rdf.Term]bool)
+	st.MatchFunc(rdf.Triple{P: rdf.NewIRI(p), O: rdf.NewIRI(o)}, func(_ FactID, t rdf.Triple) bool {
+		if !seen[t.S] {
+			seen[t.S] = true
+			out = append(out, t.S)
+		}
+		return true
+	})
+	return out
+}
+
+// Predicates returns the distinct predicates used by live facts.
+func (st *Store) Predicates() []rdf.Term {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []rdf.Term
+	for p, m := range st.pos {
+		alive := false
+	scan:
+		for _, ids := range m {
+			for _, id := range ids {
+				if !st.dead[id] {
+					alive = true
+					break scan
+				}
+			}
+		}
+		if alive {
+			out = append(out, st.terms[p])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// All returns every live triple in fact-insertion order.
+func (st *Store) All() []rdf.Triple {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]rdf.Triple, 0, st.live)
+	for id, et := range st.triples {
+		if !st.dead[id] {
+			out = append(out, st.decode(et))
+		}
+	}
+	return out
+}
+
+// Stats summarizes store contents; useful for the kbbuild tool and the
+// scaling experiments.
+type Stats struct {
+	Facts      int // live facts
+	Terms      int // dictionary size
+	Predicates int // distinct predicates in use
+	Entities   int // distinct IRI subjects
+}
+
+// Stats computes summary statistics.
+func (st *Store) Stats() Stats {
+	st.mu.RLock()
+	subjects := make(map[ID]bool)
+	preds := make(map[ID]bool)
+	live := 0
+	for id, et := range st.triples {
+		if st.dead[id] {
+			continue
+		}
+		live++
+		if st.terms[et.s].IsIRI() {
+			subjects[et.s] = true
+		}
+		preds[et.p] = true
+	}
+	terms := len(st.terms) - 1
+	st.mu.RUnlock()
+	return Stats{Facts: live, Terms: terms, Predicates: len(preds), Entities: len(subjects)}
+}
+
+// String renders a short summary, e.g. "kb(12345 facts, 6789 terms)".
+func (st *Store) String() string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return fmt.Sprintf("kb(%d facts, %d terms)", st.live, len(st.terms)-1)
+}

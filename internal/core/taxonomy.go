@@ -1,0 +1,191 @@
+package core
+
+import (
+	"sort"
+
+	"kbharvest/internal/rdf"
+)
+
+// Taxonomy operations over rdf:type and rdfs:subClassOf. Every entity in a
+// KB belongs to one or more classes, organized into a subsumption taxonomy
+// (§2 "Harvesting Knowledge on Entities and Classes"); these helpers give
+// the store the class-reasoning primitives (transitive closure, inherited
+// instance sets) that downstream modules rely on: type checking during
+// consistency reasoning, class features in NED, and type signatures in
+// rule mining.
+
+// AddType asserts (entity rdf:type class).
+func (st *Store) AddType(entity, class string) FactID {
+	return st.Add(rdf.T(entity, rdf.RDFType, class))
+}
+
+// AddSubclass asserts (sub rdfs:subClassOf super).
+func (st *Store) AddSubclass(sub, super string) FactID {
+	return st.Add(rdf.T(sub, rdf.RDFSSubClassOf, super))
+}
+
+// DirectTypes returns the directly asserted classes of an entity.
+func (st *Store) DirectTypes(entity string) []string {
+	return iriValues(st.Objects(entity, rdf.RDFType))
+}
+
+// Types returns all classes of an entity, including those inherited
+// through rdfs:subClassOf, in deterministic (sorted) order.
+func (st *Store) Types(entity string) []string {
+	seen := make(map[string]bool)
+	var frontier []string
+	for _, c := range st.DirectTypes(entity) {
+		if !seen[c] {
+			seen[c] = true
+			frontier = append(frontier, c)
+		}
+	}
+	for len(frontier) > 0 {
+		c := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, super := range iriValues(st.Objects(c, rdf.RDFSSubClassOf)) {
+			if !seen[super] {
+				seen[super] = true
+				frontier = append(frontier, super)
+			}
+		}
+	}
+	return sortedSet(seen)
+}
+
+// IsA reports whether entity is an instance of class, directly or through
+// the subclass hierarchy.
+func (st *Store) IsA(entity, class string) bool {
+	for _, c := range st.Types(entity) {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}
+
+// Superclasses returns every (transitive) superclass of a class, excluding
+// the class itself, in sorted order. Cycles are tolerated.
+func (st *Store) Superclasses(class string) []string {
+	seen := make(map[string]bool)
+	frontier := []string{class}
+	for len(frontier) > 0 {
+		c := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, super := range iriValues(st.Objects(c, rdf.RDFSSubClassOf)) {
+			if super != class && !seen[super] {
+				seen[super] = true
+				frontier = append(frontier, super)
+			}
+		}
+	}
+	return sortedSet(seen)
+}
+
+// Subclasses returns every (transitive) subclass of a class, excluding the
+// class itself, in sorted order.
+func (st *Store) Subclasses(class string) []string {
+	seen := make(map[string]bool)
+	frontier := []string{class}
+	for len(frontier) > 0 {
+		c := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, sub := range iriValues(st.Subjects(rdf.RDFSSubClassOf, c)) {
+			if sub != class && !seen[sub] {
+				seen[sub] = true
+				frontier = append(frontier, sub)
+			}
+		}
+	}
+	return sortedSet(seen)
+}
+
+// DirectInstances returns entities directly typed with the class.
+func (st *Store) DirectInstances(class string) []string {
+	return iriValues(st.Subjects(rdf.RDFType, class))
+}
+
+// Instances returns all entities of a class, including instances of its
+// transitive subclasses, in sorted order.
+func (st *Store) Instances(class string) []string {
+	seen := make(map[string]bool)
+	classes := append([]string{class}, st.Subclasses(class)...)
+	for _, c := range classes {
+		for _, e := range st.DirectInstances(c) {
+			seen[e] = true
+		}
+	}
+	return sortedSet(seen)
+}
+
+// Classes returns every term that appears as a class (object of rdf:type
+// or either side of rdfs:subClassOf), sorted.
+func (st *Store) Classes() []string {
+	seen := make(map[string]bool)
+	st.MatchFunc(rdf.Triple{P: rdf.NewIRI(rdf.RDFType)}, func(_ FactID, t rdf.Triple) bool {
+		if t.O.IsIRI() {
+			seen[t.O.Value] = true
+		}
+		return true
+	})
+	st.MatchFunc(rdf.Triple{P: rdf.NewIRI(rdf.RDFSSubClassOf)}, func(_ FactID, t rdf.Triple) bool {
+		if t.S.IsIRI() {
+			seen[t.S.Value] = true
+		}
+		if t.O.IsIRI() {
+			seen[t.O.Value] = true
+		}
+		return true
+	})
+	return sortedSet(seen)
+}
+
+// LowestCommonAncestors returns the most specific classes that subsume
+// both a and b (considering each entity's full type set). Used as a
+// semantic-relatedness signal.
+func (st *Store) LowestCommonAncestors(a, b string) []string {
+	ta := make(map[string]bool)
+	for _, c := range st.Types(a) {
+		ta[c] = true
+	}
+	common := make(map[string]bool)
+	for _, c := range st.Types(b) {
+		if ta[c] {
+			common[c] = true
+		}
+	}
+	// Drop any common class that has a common strict subclass.
+	lowest := make(map[string]bool)
+	for c := range common {
+		isLowest := true
+		for _, sub := range st.Subclasses(c) {
+			if common[sub] {
+				isLowest = false
+				break
+			}
+		}
+		if isLowest {
+			lowest[c] = true
+		}
+	}
+	return sortedSet(lowest)
+}
+
+func iriValues(ts []rdf.Term) []string {
+	out := make([]string, 0, len(ts))
+	for _, t := range ts {
+		if t.IsIRI() {
+			out = append(out, t.Value)
+		}
+	}
+	return out
+}
+
+func sortedSet(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

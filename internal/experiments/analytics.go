@@ -1,0 +1,405 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"kbharvest/internal/eval"
+	"kbharvest/internal/linkage"
+	"kbharvest/internal/ned"
+	"kbharvest/internal/synth"
+	"kbharvest/internal/temporal"
+)
+
+// buildNEDModels wires dictionary/context/relatedness from a corpus.
+func buildNEDModels(w *synth.World, corpus *synth.Corpus) *ned.Linker {
+	b := ned.NewBuilder()
+	for _, e := range w.Entities {
+		b.Observe(e.Name, e.ID, 4)
+		for _, a := range e.Aliases {
+			b.Observe(a, e.ID, 1)
+		}
+	}
+	for _, a := range corpus.Articles {
+		for _, m := range a.Mentions {
+			if m.Linked {
+				b.Observe(m.Surface, m.Entity, 2)
+			}
+		}
+	}
+	ctx := ned.NewContextModel()
+	rel := ned.NewRelatedness()
+	for _, a := range corpus.Articles {
+		ctx.AddDocument(a.Subject, a.Text)
+		rel.AddLinks(a.ID, a.Links)
+	}
+	ctx.Finalize()
+	return ned.NewLinker(b.Build(), ctx, rel)
+}
+
+func contextWindow(text string, start, end, radius int) string {
+	lo := start - radius
+	if lo < 0 {
+		lo = 0
+	}
+	hi := end + radius
+	if hi > len(text) {
+		hi = len(text)
+	}
+	return text[lo:hi]
+}
+
+// E13NED — §4: NED accuracy under the three objectives. The context
+// window is kept small (60 bytes) to make the task hard enough that the
+// signals separate.
+func E13NED() []*eval.Table {
+	w, corpus := standardWorld(114)
+	linker := buildNEDModels(w, corpus)
+	tab := eval.NewTable("E13: NED accuracy on ambiguous mentions (context window 60 bytes)",
+		"method", "mentions", "accuracy")
+	for _, mode := range []ned.Mode{ned.PriorOnly, ned.PriorContext, ned.Joint} {
+		correct, total := 0, 0
+		for _, a := range corpus.Articles {
+			var mentions []ned.Mention
+			var gold []string
+			for _, m := range a.Mentions {
+				if len(linker.Dict.Candidates(m.Surface)) < 2 {
+					continue
+				}
+				mentions = append(mentions, ned.Mention{
+					Surface: m.Surface,
+					Context: contextWindow(a.Text, m.Start, m.End, 60),
+				})
+				gold = append(gold, m.Entity)
+			}
+			if len(mentions) == 0 {
+				continue
+			}
+			for i, r := range linker.Disambiguate(mentions, mode) {
+				total++
+				if r.Entity == gold[i] {
+					correct++
+				}
+			}
+		}
+		tab.AddRow(mode.String(), total, eval.Accuracy(correct, total))
+	}
+	return []*eval.Table{tab}
+}
+
+// linkageEditions derives two noisy editions from the world (same scheme
+// as the linkage tests, at experiment scale).
+func linkageEditions(seed int64) (a, b []linkage.Record, gold map[string]string) {
+	w, _ := standardWorld(seed)
+	gold = map[string]string{}
+	rng := newDetRand(seed + 1)
+	for i, p := range w.People {
+		attrs := map[string]string{}
+		for _, f := range w.FactsOf(synth.RelBornIn) {
+			if f.S == p.ID {
+				attrs["birthYear"] = fmt.Sprintf("%d", f.Date.Year)
+				attrs["birthPlace"] = f.O
+			}
+		}
+		aID := "a:" + p.ID
+		a = append(a, linkage.Record{ID: aID, Name: p.Name, Aliases: p.Aliases, Attrs: attrs})
+		if i%7 != 0 {
+			bID := "b:" + p.ID
+			battrs := map[string]string{}
+			if rng.Float64() < 0.8 {
+				for k, v := range attrs {
+					battrs[k] = v
+				}
+			}
+			b = append(b, linkage.Record{ID: bID, Name: perturbName(p.Name, rng), Aliases: p.Aliases, Attrs: battrs})
+			gold[aID] = bID
+		}
+	}
+	return a, b, gold
+}
+
+// E14Linkage — §4: entity linkage quality and the blocking speedup.
+func E14Linkage() []*eval.Table {
+	a, b, gold := linkageEditions(115)
+	// Train the learned matcher on a disjoint world.
+	ta, tb, tgold := linkageEditions(116)
+	tbByID := map[string]linkage.Record{}
+	for _, r := range tb {
+		tbByID[r.ID] = r
+	}
+	var examples []linkage.LabeledPair
+	rng := newDetRand(7)
+	for _, r := range ta {
+		if bid, ok := tgold[r.ID]; ok {
+			examples = append(examples, linkage.LabeledPair{A: r, B: tbByID[bid], Match: true})
+		}
+		neg := tb[rng.Intn(len(tb))]
+		if tgold[r.ID] != neg.ID {
+			examples = append(examples, linkage.LabeledPair{A: r, B: neg, Match: false})
+		}
+	}
+	learned := linkage.TrainLogistic(examples, 20, 0.5, 7)
+
+	score := func(links []linkage.SameAsLink) eval.PRF {
+		tp, fp := 0, 0
+		for _, l := range links {
+			if gold[l.A] == l.B {
+				tp++
+			} else {
+				fp++
+			}
+		}
+		return eval.Score(tp, fp, len(gold)-tp)
+	}
+	tab := eval.NewTable("E14: entity linkage on noisy editions",
+		"matcher", "pairs", "links", "P", "R", "F1", "ms")
+	for _, cfg := range []struct {
+		name    string
+		pairs   []linkage.CandidatePair
+		matcher linkage.Matcher
+	}{
+		{"rule (JW>=0.93), full cross-product", linkage.AllPairs(a, b), linkage.RuleMatcher{Threshold: 0.93}},
+		{"rule (JW>=0.93), token blocking", linkage.Blocking(a, b), linkage.RuleMatcher{Threshold: 0.93}},
+		{"logistic regression, token blocking", linkage.Blocking(a, b), learned},
+	} {
+		t0 := time.Now()
+		links := linkage.Link(a, b, cfg.pairs, cfg.matcher)
+		ms := float64(time.Since(t0).Microseconds()) / 1000
+		s := score(links)
+		tab.AddRow(cfg.name, len(cfg.pairs), len(links), s.Precision, s.Recall, s.F1, ms)
+	}
+	return []*eval.Table{tab, e14bPropagation()}
+}
+
+// e14bPropagation — the "graph algorithms" half of §4's linkage methods:
+// records carry only ambiguous family names, so string similarity alone
+// cannot separate namesakes; propagating similarity along the marriedTo
+// neighborhood (similarity flooding) resolves them.
+func e14bPropagation() *eval.Table {
+	w, _ := standardWorld(118)
+	spouses := map[string]string{}
+	for _, f := range w.FactsOf(synth.RelMarriedTo) {
+		spouses[f.S] = f.O
+	}
+	family := func(name string) string {
+		for i := len(name) - 1; i >= 0; i-- {
+			if name[i] == ' ' {
+				return name[i+1:]
+			}
+		}
+		return name
+	}
+	var a, b []linkage.Record
+	gold := map[string]string{}
+	for _, p := range w.People {
+		sp, married := spouses[p.ID]
+		if !married {
+			continue
+		}
+		mkRec := func(prefix string) linkage.Record {
+			return linkage.Record{
+				ID:        prefix + p.ID,
+				Name:      family(p.Name),
+				Neighbors: []string{prefix + sp},
+			}
+		}
+		a = append(a, mkRec("a:"))
+		b = append(b, mkRec("b:"))
+		gold["a:"+p.ID] = "b:" + p.ID
+	}
+	// Shuffle edition B so index order carries no alignment signal
+	// (otherwise greedy tie-breaking silently lands on the identity).
+	rng := newDetRand(119)
+	for i := len(b) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		b[i], b[j] = b[j], b[i]
+	}
+	// Candidate scores: JW between family names — 1.0 for every namesake
+	// pair, so string similarity alone cannot tell namesakes apart. The
+	// flood's anchors are the records with *unique* family names; their
+	// certainty propagates to their (ambiguous) spouses through the
+	// marriedTo neighborhood.
+	base := map[[2]int]float64{}
+	for i := range a {
+		for j := range b {
+			if s := linkage.JaroWinkler(a[i].Name, b[j].Name); s >= 0.85 {
+				base[[2]int{i, j}] = s
+			}
+		}
+	}
+	scoreLinks := func(scores map[[2]int]float64) eval.PRF {
+		// Greedy one-to-one by descending score.
+		var all []scorePair
+		for k, v := range scores {
+			all = append(all, scorePair{k[0], k[1], v})
+		}
+		sortScorePairs(all)
+		usedA, usedB := map[int]bool{}, map[int]bool{}
+		tp, fp := 0, 0
+		for _, x := range all {
+			if usedA[x.i] || usedB[x.j] || x.s < 0.9 {
+				continue
+			}
+			usedA[x.i], usedB[x.j] = true, true
+			if gold[a[x.i].ID] == b[x.j].ID {
+				tp++
+			} else {
+				fp++
+			}
+		}
+		return eval.Score(tp, fp, len(gold)-tp)
+	}
+	tab := eval.NewTable("E14b: ambiguous family-name linkage — similarity propagation",
+		"method", "P", "R", "F1")
+	sBase := scoreLinks(base)
+	tab.AddRow("name similarity only", sBase.Precision, sBase.Recall, sBase.F1)
+	flooded := linkage.PropagateSimilarity(a, b, base, 0.5, 4)
+	sFlood := scoreLinks(flooded)
+	tab.AddRow("+ similarity propagation (4 rounds)", sFlood.Precision, sFlood.Recall, sFlood.F1)
+	return tab
+}
+
+// scorePair is one scored candidate pair in the flooding demonstration.
+type scorePair struct {
+	i, j int
+	s    float64
+}
+
+// sortScorePairs orders pairs by descending score, then indices, so the
+// greedy matching is deterministic.
+func sortScorePairs(all []scorePair) {
+	sort.Slice(all, func(x, y int) bool {
+		if all[x].s != all[y].s {
+			return all[x].s > all[y].s
+		}
+		if all[x].i != all[y].i {
+			return all[x].i < all[y].i
+		}
+		return all[x].j < all[y].j
+	})
+}
+
+// E15BrandTracking — §4's motivating example: track two product families
+// over a year of posts; knowledge-based NED attributes ambiguous brand
+// mentions to concrete products, string matching cannot.
+func E15BrandTracking() []*eval.Table {
+	w, corpus := standardWorld(117)
+	linker := buildNEDModels(w, corpus)
+	opt := synth.DefaultStreamOptions(w)
+	opt.Posts = 3000
+	posts := synth.GenerateStream(w, opt)
+
+	// Pre-compute each line's release timeline for the KB-temporal
+	// attribution method: a bare brand mention is attributed to the most
+	// recently released product of that line as of the post day — the
+	// "knowledge as asset" move of §4 (the KB knows the release dates).
+	lineProducts := map[string][]*synth.Entity{}
+	for _, prod := range w.Products {
+		line := w.ProductLine[prod.ID]
+		lineProducts[line] = append(lineProducts[line], prod)
+	}
+	attributeWithKB := func(surface string, day int) string {
+		if e := w.EntityByName(surface); e != nil {
+			return e.ID // full product name: exact
+		}
+		best, bestDay := "", -1<<62
+		for _, prod := range lineProducts[surface] {
+			rd, ok := w.ReleaseDay(prod.ID)
+			if !ok || rd > day {
+				continue
+			}
+			if rd > bestDay {
+				best, bestDay = prod.ID, rd
+			}
+		}
+		return best
+	}
+
+	// Attribution accuracy: for every product mention, does the method
+	// pick the right product entity?
+	correctNED, correctString, correctKB, total := 0, 0, 0, 0
+	quarterCounts := map[string]map[int]int{} // line -> quarter -> NED-attributed mentions
+	for _, p := range posts {
+		for _, m := range p.Mentions {
+			total++
+			// String matching: exact full-name match attributes; a bare
+			// line word cannot pick a generation.
+			if e := w.EntityByName(m.Surface); e != nil && e.ID == m.Entity {
+				correctString++
+			}
+			// NED with post text as context.
+			res := linker.Disambiguate([]ned.Mention{{Surface: m.Surface, Context: p.Text}}, ned.PriorContext)
+			if len(res) == 1 && res[0].Entity == m.Entity {
+				correctNED++
+			}
+			// KB temporal prior.
+			if attributeWithKB(m.Surface, p.Day) == m.Entity {
+				correctKB++
+			}
+			line := w.ProductLine[m.Entity]
+			if quarterCounts[line] == nil {
+				quarterCounts[line] = map[int]int{}
+			}
+			quarterCounts[line][quarterOf(p.Day)]++
+		}
+	}
+	acc := eval.NewTable("E15: product-mention attribution over the social stream",
+		"method", "mentions", "accuracy")
+	acc.AddRow("string matching", total, eval.Accuracy(correctString, total))
+	acc.AddRow("NED (prior+context)", total, eval.Accuracy(correctNED, total))
+	acc.AddRow("NED + KB release dates", total, eval.Accuracy(correctKB, total))
+
+	trend := eval.NewTable("E15b: tracked mentions per quarter (gold line attribution)",
+		"line", "Q1", "Q2", "Q3", "Q4")
+	for _, line := range opt.Lines {
+		qc := quarterCounts[line]
+		trend.AddRow(line, qc[0], qc[1], qc[2], qc[3])
+	}
+	return []*eval.Table{acc, trend}
+}
+
+func quarterOf(day int) int {
+	d := temporal.FromDay(day)
+	return (d.Month - 1) / 3
+}
+
+// newDetRand is a tiny deterministic PRNG (xorshift) so experiments avoid
+// pulling math/rand state ordering into their fingerprints.
+type detRand struct{ s uint64 }
+
+func newDetRand(seed int64) *detRand {
+	if seed == 0 {
+		seed = 1
+	}
+	return &detRand{s: uint64(seed)}
+}
+
+func (r *detRand) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *detRand) Float64() float64 { return float64(r.next()%1_000_000) / 1_000_000 }
+
+func (r *detRand) Intn(n int) int { return int(r.next() % uint64(n)) }
+
+// perturbName introduces one typo.
+func perturbName(name string, rng *detRand) string {
+	if len(name) < 4 {
+		return name
+	}
+	i := 1 + rng.Intn(len(name)-2)
+	switch rng.Intn(3) {
+	case 0:
+		return name[:i] + name[i+1:]
+	case 1:
+		b := []byte(name)
+		b[i], b[i+1] = b[i+1], b[i]
+		return string(b)
+	default:
+		return name[:i] + string(name[i]) + name[i:]
+	}
+}

@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"kbharvest/internal/commonsense"
+	"kbharvest/internal/core"
+	"kbharvest/internal/eval"
+	"kbharvest/internal/extract"
+	"kbharvest/internal/extract/openie"
+	"kbharvest/internal/extract/patterns"
+	"kbharvest/internal/mapreduce"
+	"kbharvest/internal/mining"
+	"kbharvest/internal/multilingual"
+	"kbharvest/internal/synth"
+	"kbharvest/internal/temporal"
+)
+
+// openIERelationMap folds normalized open-IE relation phrases onto the
+// world's gold relations, with inversion flags, so precision can be
+// measured against ground truth.
+var openIERelationMap = map[string]struct {
+	rel      string
+	inverted bool
+}{
+	"found":          {synth.RelFounded, false},
+	"found by":       {synth.RelFounded, true},
+	"establish":      {synth.RelFounded, false},
+	"start":          {synth.RelFounded, false},
+	"bear in":        {synth.RelBornIn, false},
+	"bear on":        {synth.RelBornIn, false}, // "born on DATE in CITY" (arg2 = city after date range)
+	"marry":          {synth.RelMarriedTo, false},
+	"marry to":       {synth.RelMarriedTo, false},
+	"acquire":        {synth.RelAcquired, false},
+	"acquire by":     {synth.RelAcquired, true},
+	"buy":            {synth.RelAcquired, false},
+	"work at":        {synth.RelWorksAt, false},
+	"join":           {synth.RelWorksAt, false},
+	"graduate from":  {synth.RelGraduatedFrom, false},
+	"study at":       {synth.RelGraduatedFrom, false},
+	"win":            {synth.RelWonPrize, false},
+	"receive":        {synth.RelWonPrize, false},
+	"lead":           {synth.RelCEOOf, false},
+	"serve as":       {synth.RelCEOOf, false},
+	"headquarter in": {synth.RelLocatedIn, false},
+	"base in":        {synth.RelLocatedIn, false},
+	"locate in":      {synth.RelLocatedIn, false},
+	"release":        {synth.RelCreated, false},
+	"release by":     {synth.RelCreated, true},
+	"unveil":         {synth.RelCreated, false},
+	"compete with":   {synth.RelRivalOf, false},
+}
+
+// E7OpenIE — §3: open IE yield/precision with and without the ReVerb
+// syntactic + lexical constraints.
+func E7OpenIE() []*eval.Table {
+	w, corpus := standardWorld(108)
+	var docs []openie.Doc
+	for _, a := range corpus.Articles {
+		docs = append(docs, openie.Doc{Text: a.Text, Source: a.ID})
+	}
+	resolve := func(name string) (string, bool) {
+		if e := w.EntityByName(strings.TrimSpace(name)); e != nil {
+			return e.ID, true
+		}
+		return "", false
+	}
+	// overall-precision counts an extraction correct only when both args
+	// resolve to entities AND the normalized relation maps onto a gold
+	// relation that actually holds, over ALL extractions — so incoherent
+	// extractions (common-noun arguments, junk relation phrases) count
+	// as errors. args-resolve isolates the argument-coherence component.
+	evalExs := func(exs []openie.Extraction) (yield int, argRes, overall float64) {
+		resolved, matched := 0, 0
+		for _, ex := range exs {
+			a1, ok1 := resolve(ex.Arg1)
+			a2, ok2 := resolve(ex.Arg2)
+			if ok1 && ok2 {
+				resolved++
+				if m, ok := openIERelationMap[ex.Normalized]; ok {
+					s, o := a1, a2
+					if m.inverted {
+						s, o = o, s
+					}
+					if w.HasFact(s, m.rel, o) {
+						matched++
+					}
+				}
+			}
+		}
+		argRes = eval.Accuracy(resolved, len(exs))
+		overall = eval.Accuracy(matched, len(exs))
+		return len(exs), argRes, overall
+	}
+	tab := eval.NewTable("E7: open IE — effect of ReVerb constraints",
+		"config", "extractions", "args-resolve", "overall-precision")
+	for _, cfg := range []struct {
+		name string
+		opt  openie.Options
+	}{
+		{"no constraints", openie.Options{Syntactic: false, Lexical: false}},
+		{"syntactic only", openie.Options{Syntactic: true, Lexical: false}},
+		{"syntactic + lexical", openie.Options{Syntactic: true, Lexical: true, MinRelPairs: 3}},
+	} {
+		yield, argRes, prec := evalExs(openie.Extract(docs, cfg.opt))
+		tab.AddRow(cfg.name, yield, argRes, prec)
+	}
+	// Relation inventory discovered under full constraints.
+	inv := eval.NewTable("E7b: top discovered relation phrases", "phrase", "count")
+	exs := openie.Extract(docs, openie.DefaultOptions())
+	for i, rc := range openie.RelationCounts(exs) {
+		if i >= 10 {
+			break
+		}
+		inv.AddRow(rc.Rel, rc.Count)
+	}
+	return []*eval.Table{tab, inv}
+}
+
+// E8MapReduce — §3: extraction throughput scales with map-reduce workers.
+// The map task is the full NLP extraction stack per document (sentence
+// splitting, tagging, chunking, open IE, plus surface patterns) — the
+// CPU-bound workload the tutorial's map-reduce computations distribute.
+func E8MapReduce() []*eval.Table {
+	cfg := synth.Config{
+		People: 400, Companies: 100, Cities: 40, Countries: 8,
+		Universities: 25, Products: 80, Prizes: 15,
+	}
+	w := synth.Generate(cfg, 109)
+	corpus := synth.BuildCorpus(w, synth.DefaultCorpusOptions())
+	docs := corpusDocs(corpus)
+	inputs := make([]interface{}, len(docs))
+	for i := range docs {
+		inputs[i] = docs[i]
+	}
+	mapper := func(record interface{}, emit func(string, interface{})) error {
+		doc := record.(extract.Doc)
+		for _, c := range patterns.Apply(extract.SplitDoc(doc), patterns.DefaultPatterns()) {
+			emit(c.Key(), 1)
+		}
+		for _, ex := range openie.Extract([]openie.Doc{{Text: doc.Text, Source: doc.Source}},
+			openie.Options{Syntactic: true}) {
+			emit("oie:"+ex.Normalized, 1)
+		}
+		return nil
+	}
+	tab := eval.NewTable("E8: map-reduce extraction scaling (patterns + open IE per doc)",
+		"workers", "docs", "ms", "docs/s", "speedup")
+	// The NLP map task is allocation-heavy; at the default GC target the
+	// collector runs continuously on this transient garbage and serializes
+	// the workers. Raise the target for the measurement window (restored
+	// after) so the experiment measures the programming model, not GOGC.
+	old := debug.SetGCPercent(400)
+	defer debug.SetGCPercent(old)
+	var base float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		// Best of 3 runs to damp scheduler noise.
+		best := time.Duration(1 << 62)
+		for r := 0; r < 3; r++ {
+			t0 := time.Now()
+			if _, err := mapreduce.Run(inputs, mapper, mapreduce.CountReducer,
+				mapreduce.Config{Workers: workers, Combiner: mapreduce.CountReducer}); err != nil {
+				panic(err)
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		ms := float64(best.Microseconds()) / 1000
+		if workers == 1 {
+			base = ms
+		}
+		tab.AddRow(workers, len(docs), ms,
+			float64(len(docs))/best.Seconds(), base/ms)
+	}
+	return []*eval.Table{tab}
+}
+
+// E9SequenceMining — §3: frequent sequence mining over entity-pair
+// contexts surfaces relation phrases.
+func E9SequenceMining() []*eval.Table {
+	_, corpus := standardWorld(110)
+	sents := extract.SplitDocs(corpusDocs(corpus))
+	// Sequence DB: the word sequences between entity-pair mentions.
+	var db []mining.Sequence
+	for _, sent := range sents {
+		for i := 0; i < len(sent.Spans); i++ {
+			for j := i + 1; j < len(sent.Spans); j++ {
+				lo, hi := sent.Spans[i].End, sent.Spans[j].Start
+				if hi <= lo || hi-lo > 60 {
+					continue
+				}
+				words := strings.Fields(strings.ToLower(sent.Text[lo:hi]))
+				if len(words) > 0 {
+					db = append(db, mining.Sequence(words))
+				}
+			}
+		}
+	}
+	tab := eval.NewTable("E9: frequent sequences between entity pairs (min-support sweep)",
+		"min-support", "sequences-db", "patterns", "ms")
+	for _, sup := range []int{50, 20, 10, 5} {
+		t0 := time.Now()
+		pats := mining.ContiguousPatterns(db, sup, 1, 4)
+		tab.AddRow(sup, len(db), len(pats), float64(time.Since(t0).Microseconds())/1000)
+	}
+	top := eval.NewTable("E9b: top mined phrases (min-support 10, len>=2)", "phrase", "support")
+	n := 0
+	for _, p := range mining.ContiguousPatterns(db, 10, 2, 4) {
+		if n >= 10 {
+			break
+		}
+		top.AddRow(p.String(), p.Support)
+		n++
+	}
+	return []*eval.Table{tab, top}
+}
+
+// E10Temporal — §3: inferring timespans during which facts hold.
+func E10Temporal() []*eval.Table {
+	w, corpus := standardWorld(111)
+	sents := extract.SplitDocs(corpusDocs(corpus))
+	// Collect scopes per extracted fact.
+	scopes := map[string][]core.Interval{}
+	for _, sent := range sents {
+		iv, ok := temporal.ScopeSentence(sent.Text)
+		if !ok {
+			continue
+		}
+		for _, c := range patterns.Apply([]extract.Sentence{sent}, patterns.DefaultPatterns()) {
+			scopes[c.Key()] = append(scopes[c.Key()], iv)
+		}
+	}
+	goldTime := map[string]core.Interval{}
+	for _, f := range w.Facts {
+		goldTime[f.S+"\x00"+f.P+"\x00"+f.O] = f.Time
+	}
+	tab := eval.NewTable("E10: temporal scoping accuracy (year-level)",
+		"relation", "scoped", "begin-acc", "end-acc")
+	for _, rel := range []string{synth.RelWorksAt, synth.RelCEOOf, synth.RelFounded, synth.RelBornIn} {
+		total, beginOK, endOK := 0, 0, 0
+		for key, ivs := range scopes {
+			parts := strings.SplitN(key, "\x00", 3)
+			if len(parts) != 3 || parts[1] != rel {
+				continue
+			}
+			gt, ok := goldTime[key]
+			if !ok {
+				continue
+			}
+			got, _ := temporal.AggregateScopes(ivs)
+			total++
+			if yearOf(got.Begin) == yearOf(gt.Begin) {
+				beginOK++
+			}
+			if yearOf(got.End) == yearOf(gt.End) || (gt.End == core.MaxDay && got.End >= gt.Begin) {
+				endOK++
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		tab.AddRow(rel, total, eval.Accuracy(beginOK, total), eval.Accuracy(endOK, total))
+	}
+	return []*eval.Table{tab}
+}
+
+func yearOf(day int) int {
+	if day == core.MinDay || day == core.MaxDay {
+		return day
+	}
+	return temporal.FromDay(day).Year
+}
+
+// E11Multilingual — §3: cross-lingual name alignment.
+func E11Multilingual() []*eval.Table {
+	w, _ := standardWorld(112)
+	tab := eval.NewTable("E11: cross-lingual entity alignment by name", "languages", "aligned", "P", "R")
+	for _, lang := range []string{"de", "fr", "es"} {
+		var src, dst []multilingual.Named
+		for _, e := range w.People {
+			src = append(src, multilingual.Named{ID: e.ID, Name: e.Labels["en"]})
+			dst = append(dst, multilingual.Named{ID: e.ID, Name: e.Labels[lang]})
+		}
+		aligns := multilingual.Align(src, dst, 0.75)
+		correct := 0
+		for _, a := range aligns {
+			if a.Src == a.Dst {
+				correct++
+			}
+		}
+		tab.AddRow("en-"+lang, len(aligns),
+			eval.Accuracy(correct, len(aligns)),
+			eval.Accuracy(correct, len(src)))
+	}
+	return []*eval.Table{tab}
+}
+
+// E12RuleMining — §3: commonsense rule mining (AMIE-style) over the KB.
+func E12RuleMining() []*eval.Table {
+	tab := eval.NewTable("E12: AMIE-style rule mining (scale sweep)",
+		"facts", "rules", "ms")
+	var lastRules []commonsense.Rule
+	for _, scale := range []float64{0.5, 1.0, 2.0} {
+		cfg := synth.Config{
+			People: 200, Companies: 50, Cities: 25, Countries: 6,
+			Universities: 15, Products: 40, Prizes: 10,
+		}.Scaled(scale)
+		w := synth.Generate(cfg, 113)
+		t0 := time.Now()
+		rules := commonsense.MineRules(w.Truth, commonsense.MineConfig{
+			MinSupport: 5, MinHeadCoverage: 0.05, MinPCAConfidence: 0.5,
+		})
+		tab.AddRow(w.Truth.Len(), len(rules), float64(time.Since(t0).Milliseconds()))
+		lastRules = rules
+	}
+	top := eval.NewTable("E12b: top mined rules (largest KB)", "rule")
+	for i, r := range lastRules {
+		if i >= 8 {
+			break
+		}
+		top.AddRow(r.String())
+	}
+
+	// E12c: concept-property and part-whole extraction from prose — the
+	// other half of §3's commonsense section.
+	pages, gold := synth.BuildCommonsensePages(901)
+	var propFacts []commonsense.PropertyFact
+	var partFacts []commonsense.PartFact
+	for _, p := range pages {
+		propFacts = append(propFacts, commonsense.ExtractProperties(p.Text)...)
+		partFacts = append(partFacts, commonsense.ExtractParts(p.Text)...)
+	}
+	pred := map[string]bool{}
+	for _, f := range propFacts {
+		pred[f.Concept+"|"+f.Property] = true
+	}
+	goldSet := map[string]bool{}
+	for c, props := range gold.Properties {
+		for p := range props {
+			goldSet[c+"|"+p] = true
+		}
+	}
+	propScore := eval.SetPRF(pred, goldSet)
+	partPred := map[string]bool{}
+	for _, f := range partFacts {
+		partPred[f.Part+"|"+f.Whole] = true
+	}
+	partGold := map[string]bool{}
+	for pw := range gold.Parts {
+		partGold[pw[0]+"|"+pw[1]] = true
+	}
+	partScore := eval.SetPRF(partPred, partGold)
+	props := eval.NewTable("E12c: commonsense property / part-whole extraction",
+		"kind", "extracted", "P", "R", "F1")
+	props.AddRow("concept properties", len(pred), propScore.Precision, propScore.Recall, propScore.F1)
+	props.AddRow("part-whole", len(partPred), partScore.Precision, partScore.Recall, partScore.F1)
+	return []*eval.Table{tab, top, props}
+}

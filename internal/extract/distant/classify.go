@@ -1,0 +1,212 @@
+package distant
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"kbharvest/internal/extract"
+)
+
+// Perceptron is an averaged multi-class perceptron over sparse string
+// features — compact, fast, and competitive on high-dimensional sparse
+// text features.
+type Perceptron struct {
+	Labels  []string
+	weights map[string]map[string]float64 // label -> feature -> averaged weight
+}
+
+// TrainPerceptron runs the averaged perceptron for the given epochs,
+// shuffling deterministically with seed.
+func TrainPerceptron(insts []Instance, epochs int, seed int64) *Perceptron {
+	labelSet := map[string]bool{}
+	for _, in := range insts {
+		labelSet[in.Label] = true
+	}
+	labels := make([]string, 0, len(labelSet))
+	for l := range labelSet {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	w := map[string]map[string]float64{}   // current weights
+	acc := map[string]map[string]float64{} // accumulated for averaging
+	for _, l := range labels {
+		w[l] = map[string]float64{}
+		acc[l] = map[string]float64{}
+	}
+	score := func(label string, feats []string) float64 {
+		s := 0.0
+		lw := w[label]
+		for _, f := range feats {
+			s += lw[f]
+		}
+		return s
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := make([]int, len(insts))
+	for i := range order {
+		order[i] = i
+	}
+	step := 1.0
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			in := insts[idx]
+			best, bestScore := "", math.Inf(-1)
+			for _, l := range labels {
+				if s := score(l, in.Features); s > bestScore {
+					best, bestScore = l, s
+				}
+			}
+			if best != in.Label {
+				for _, f := range in.Features {
+					w[in.Label][f]++
+					w[best][f]--
+					acc[in.Label][f] += step
+					acc[best][f] -= step
+				}
+			}
+			step++
+		}
+	}
+	// Averaged weights: w_avg = w - acc/step.
+	avg := map[string]map[string]float64{}
+	for _, l := range labels {
+		avg[l] = map[string]float64{}
+		for f, v := range w[l] {
+			avg[l][f] = v - acc[l][f]/step
+		}
+	}
+	return &Perceptron{Labels: labels, weights: avg}
+}
+
+// Predict returns the best label and its margin over the runner-up.
+func (p *Perceptron) Predict(feats []string) (string, float64) {
+	best, second := math.Inf(-1), math.Inf(-1)
+	bestLabel := NoneLabel
+	for _, l := range p.Labels {
+		s := 0.0
+		lw := p.weights[l]
+		for _, f := range feats {
+			s += lw[f]
+		}
+		if s > best {
+			second = best
+			best, bestLabel = s, l
+		} else if s > second {
+			second = s
+		}
+	}
+	margin := best - second
+	if math.IsInf(margin, 0) {
+		margin = 0
+	}
+	return bestLabel, margin
+}
+
+// NaiveBayes is multinomial naive Bayes with add-one smoothing.
+type NaiveBayes struct {
+	Labels     []string
+	prior      map[string]float64 // log prior
+	condLog    map[string]map[string]float64
+	defaultLog map[string]float64 // log P(unseen feature | label)
+}
+
+// TrainNaiveBayes fits the model.
+func TrainNaiveBayes(insts []Instance) *NaiveBayes {
+	labelCount := map[string]int{}
+	featCount := map[string]map[string]int{}
+	featTotal := map[string]int{}
+	vocab := map[string]bool{}
+	for _, in := range insts {
+		labelCount[in.Label]++
+		if featCount[in.Label] == nil {
+			featCount[in.Label] = map[string]int{}
+		}
+		for _, f := range in.Features {
+			featCount[in.Label][f]++
+			featTotal[in.Label]++
+			vocab[f] = true
+		}
+	}
+	labels := make([]string, 0, len(labelCount))
+	for l := range labelCount {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	nb := &NaiveBayes{
+		Labels:     labels,
+		prior:      map[string]float64{},
+		condLog:    map[string]map[string]float64{},
+		defaultLog: map[string]float64{},
+	}
+	v := float64(len(vocab))
+	for _, l := range labels {
+		nb.prior[l] = math.Log(float64(labelCount[l]) / float64(len(insts)))
+		denom := float64(featTotal[l]) + v
+		nb.condLog[l] = map[string]float64{}
+		for f, c := range featCount[l] {
+			nb.condLog[l][f] = math.Log((float64(c) + 1) / denom)
+		}
+		nb.defaultLog[l] = math.Log(1 / denom)
+	}
+	return nb
+}
+
+// Predict returns the maximum-posterior label and the log-odds margin.
+func (nb *NaiveBayes) Predict(feats []string) (string, float64) {
+	best, second := math.Inf(-1), math.Inf(-1)
+	bestLabel := NoneLabel
+	for _, l := range nb.Labels {
+		s := nb.prior[l]
+		for _, f := range feats {
+			if lp, ok := nb.condLog[l][f]; ok {
+				s += lp
+			} else {
+				s += nb.defaultLog[l]
+			}
+		}
+		if s > best {
+			second = best
+			best, bestLabel = s, l
+		} else if s > second {
+			second = s
+		}
+	}
+	margin := best - second
+	if math.IsInf(margin, 0) {
+		margin = 0
+	}
+	return bestLabel, margin
+}
+
+// Model is the common prediction interface of both classifiers.
+type Model interface {
+	Predict(feats []string) (label string, margin float64)
+}
+
+// ExtractWithModel classifies every instance and emits the non-NONE
+// predictions as fact candidates. Confidence is a squashed margin.
+func ExtractWithModel(insts []Instance, m Model) []extract.Candidate {
+	var out []extract.Candidate
+	seen := map[string]bool{}
+	for _, in := range insts {
+		label, margin := m.Predict(in.Features)
+		if label == NoneLabel {
+			continue
+		}
+		c := extract.Candidate{
+			S: in.S, P: label, O: in.O,
+			Confidence: squash(margin),
+			Source:     in.Source,
+		}
+		if !seen[c.Key()] {
+			seen[c.Key()] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func squash(x float64) float64 { return 1 - math.Exp(-math.Abs(x)/4)*0.5 }

@@ -1,0 +1,294 @@
+package distant
+
+import (
+	"strings"
+	"testing"
+
+	"kbharvest/internal/eval"
+	"kbharvest/internal/extract"
+	"kbharvest/internal/rdf"
+	"kbharvest/internal/synth"
+)
+
+func span(text, name, entity string) extract.Span {
+	i := strings.Index(text, name)
+	return extract.Span{Start: i, End: i + len(name), Entity: entity}
+}
+
+func TestFeaturize(t *testing.T) {
+	sentText := "Alice Foo founded Acme Systems in 1976."
+	sent := extract.Sentence{Text: sentText}
+	a := span(sentText, "Alice Foo", "kb:Alice")
+	b := span(sentText, "Acme Systems", "kb:Acme")
+	feats := Featurize(sent, a, b)
+	has := func(f string) bool {
+		for _, g := range feats {
+			if g == f {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("mid:founded") {
+		t.Errorf("missing middle feature: %v", feats)
+	}
+	if !has("order:fwd") {
+		t.Errorf("missing order feature: %v", feats)
+	}
+	if !has("after:in") {
+		t.Errorf("missing after feature: %v", feats)
+	}
+	// Dependency path present.
+	pathFound := false
+	for _, f := range feats {
+		if strings.HasPrefix(f, "path:") {
+			pathFound = true
+		}
+	}
+	if !pathFound {
+		t.Errorf("missing dependency path: %v", feats)
+	}
+	// Inverted direction flips the order feature.
+	featsInv := Featurize(sent, b, a)
+	invFound := false
+	for _, f := range featsInv {
+		if f == "order:inv" {
+			invFound = true
+		}
+	}
+	if !invFound {
+		t.Errorf("inverted pair should carry order:inv: %v", featsInv)
+	}
+}
+
+func TestFeaturizeMasksYears(t *testing.T) {
+	sentText := "A B joined C D in 1999 happily."
+	sent := extract.Sentence{Text: sentText}
+	a := span(sentText, "A B", "kb:a")
+	b := span(sentText, "C D", "kb:c")
+	_ = b
+	feats := Featurize(sent, a, b)
+	for _, f := range feats {
+		if f == "mid:1999" || f == "after:1999" {
+			t.Errorf("unmasked year: %v", feats)
+		}
+	}
+}
+
+func toyInstances() []Instance {
+	// Two relations with disjoint middle vocabulary plus NONE.
+	mk := func(label, mid string, n int) []Instance {
+		var out []Instance
+		for i := 0; i < n; i++ {
+			out = append(out, Instance{
+				Features: []string{"mid:" + mid, "order:fwd"},
+				Label:    label, S: "s", O: "o",
+			})
+		}
+		return out
+	}
+	var insts []Instance
+	insts = append(insts, mk("rel:founded", "founded", 20)...)
+	insts = append(insts, mk("rel:acquired", "acquired", 20)...)
+	insts = append(insts, mk(NoneLabel, "admired", 20)...)
+	return insts
+}
+
+func TestPerceptronLearnsToyData(t *testing.T) {
+	insts := toyInstances()
+	p := TrainPerceptron(insts, 5, 1)
+	cases := map[string]string{
+		"founded":  "rel:founded",
+		"acquired": "rel:acquired",
+		"admired":  NoneLabel,
+	}
+	for mid, want := range cases {
+		got, _ := p.Predict([]string{"mid:" + mid, "order:fwd"})
+		if got != want {
+			t.Errorf("Predict(mid:%s) = %s, want %s", mid, got, want)
+		}
+	}
+}
+
+func TestNaiveBayesLearnsToyData(t *testing.T) {
+	insts := toyInstances()
+	nb := TrainNaiveBayes(insts)
+	cases := map[string]string{
+		"founded":  "rel:founded",
+		"acquired": "rel:acquired",
+		"admired":  NoneLabel,
+	}
+	for mid, want := range cases {
+		got, _ := nb.Predict([]string{"mid:" + mid, "order:fwd"})
+		if got != want {
+			t.Errorf("Predict(mid:%s) = %s, want %s", mid, got, want)
+		}
+	}
+}
+
+func TestPerceptronDeterministic(t *testing.T) {
+	insts := toyInstances()
+	a := TrainPerceptron(insts, 3, 7)
+	b := TrainPerceptron(insts, 3, 7)
+	la, _ := a.Predict([]string{"mid:founded"})
+	lb, _ := b.Predict([]string{"mid:founded"})
+	if la != lb {
+		t.Error("same seed should give same model")
+	}
+}
+
+// corpusSentences adapts the synthetic corpus.
+func corpusSentences(c *synth.Corpus) []extract.Sentence {
+	var docs []extract.Doc
+	for _, a := range c.Articles {
+		d := extract.Doc{Text: a.Text, Source: a.ID}
+		for _, m := range a.Mentions {
+			d.Mentions = append(d.Mentions, extract.Span{Start: m.Start, End: m.End, Entity: m.Entity})
+		}
+		docs = append(docs, d)
+	}
+	return extract.SplitDocs(docs)
+}
+
+// TestDistantSupervisionEndToEnd trains on half the corpus labeled by the
+// gold KB and extracts from the other half; F1 must be solid and the
+// learned model must beat chance by a wide margin (experiment E4's
+// invariant).
+func TestDistantSupervisionEndToEnd(t *testing.T) {
+	w := synth.Generate(synth.Config{
+		People: 100, Companies: 25, Cities: 12, Countries: 4,
+		Universities: 8, Products: 15, Prizes: 5,
+	}, 51)
+	corpus := synth.BuildCorpus(w, synth.DefaultCorpusOptions())
+	sents := corpusSentences(corpus)
+	half := len(sents) / 2
+	train, test := sents[:half], sents[half:]
+
+	kbLabel := func(s, o string) (string, bool) {
+		for _, rel := range []string{
+			synth.RelFounded, synth.RelBornIn, synth.RelAcquired,
+			synth.RelLocatedIn, synth.RelMarriedTo, synth.RelGraduatedFrom,
+			synth.RelWorksAt, synth.RelWonPrize, synth.RelCEOOf, synth.RelCreated,
+		} {
+			if w.HasFact(s, rel, o) {
+				return rel, true
+			}
+		}
+		return "", false
+	}
+	trainInsts := BuildInstances(train, kbLabel, 2)
+	if len(trainInsts) < 100 {
+		t.Fatalf("too few training instances: %d", len(trainInsts))
+	}
+	model := TrainPerceptron(trainInsts, 5, 3)
+
+	testInsts := BuildInstances(test, kbLabel, 1)
+	cands := ExtractWithModel(testInsts, model)
+	if len(cands) == 0 {
+		t.Fatal("no extractions on test half")
+	}
+	pred := map[string]bool{}
+	for _, c := range cands {
+		pred[c.Key()] = true
+	}
+	gold := map[string]bool{}
+	for _, in := range testInsts {
+		if in.Label != NoneLabel {
+			gold[in.S+"\x00"+in.Label+"\x00"+in.O] = true
+		}
+	}
+	score := eval.SetPRF(pred, gold)
+	if score.F1 < 0.6 {
+		t.Errorf("distant supervision F1 = %v", score)
+	}
+}
+
+func TestBuildInstancesSubsamplesNone(t *testing.T) {
+	w := synth.Generate(synth.Config{
+		People: 40, Companies: 10, Cities: 8, Countries: 3,
+		Universities: 4, Products: 8, Prizes: 3,
+	}, 52)
+	corpus := synth.BuildCorpus(w, synth.DefaultCorpusOptions())
+	sents := corpusSentences(corpus)
+	kbLabel := func(s, o string) (string, bool) { return "", false }
+	all := BuildInstances(sents, kbLabel, 1)
+	sampled := BuildInstances(sents, kbLabel, 4)
+	if len(sampled) >= len(all) {
+		t.Errorf("subsampling did not reduce: %d vs %d", len(sampled), len(all))
+	}
+}
+
+func TestExtractWithModelSkipsNone(t *testing.T) {
+	insts := []Instance{
+		{Features: []string{"mid:founded"}, Label: "x", S: "a", O: "b"},
+	}
+	nb := TrainNaiveBayes(toyInstances())
+	cands := ExtractWithModel(insts, nb)
+	for _, c := range cands {
+		if c.P == NoneLabel {
+			t.Error("NONE prediction leaked into candidates")
+		}
+	}
+}
+
+func TestFeaturizeAdjacentAndReversedSpans(t *testing.T) {
+	// Adjacent mentions (empty middle) and reversed role order must not
+	// panic and must produce valid features.
+	sentText := "AcmeAlice met."
+	sent := extract.Sentence{Text: sentText}
+	a := extract.Span{Start: 0, End: 4, Entity: "kb:acme"}
+	b := extract.Span{Start: 4, End: 9, Entity: "kb:alice"}
+	for _, pair := range [][2]extract.Span{{a, b}, {b, a}} {
+		feats := Featurize(sent, pair[0], pair[1])
+		if len(feats) == 0 {
+			t.Fatal("no features")
+		}
+		for _, f := range feats {
+			if f == "" {
+				t.Error("empty feature emitted")
+			}
+		}
+	}
+}
+
+func TestBuildInstancesSkipsSameEntityPairs(t *testing.T) {
+	sentText := "Alice met Alice."
+	sent := extract.Sentence{
+		Text: sentText,
+		Spans: []extract.Span{
+			{Start: 0, End: 5, Entity: "kb:alice"},
+			{Start: 10, End: 15, Entity: "kb:alice"},
+		},
+	}
+	insts := BuildInstances([]extract.Sentence{sent}, func(s, o string) (string, bool) {
+		return "rel", true
+	}, 1)
+	if len(insts) != 0 {
+		t.Errorf("same-entity pair should be skipped: %+v", insts)
+	}
+}
+
+func TestModelInterface(t *testing.T) {
+	var _ Model = (*Perceptron)(nil)
+	var _ Model = (*NaiveBayes)(nil)
+}
+
+func TestTruthHasLabelsForSanity(t *testing.T) {
+	// Guard: the gold store must expose facts used by kbLabel above.
+	w := synth.Generate(synth.Config{
+		People: 10, Companies: 4, Cities: 4, Countries: 2,
+		Universities: 2, Products: 3, Prizes: 2,
+	}, 53)
+	found := false
+	if n := len(w.Truth.Match(rdf.Triple{P: rdf.NewIRI(synth.RelFounded)})); n == 0 {
+		t.Skip("world has no founded facts at this size")
+	}
+	for _, f := range w.Facts {
+		if f.P == synth.RelFounded {
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("world has no founded facts at this size")
+	}
+}

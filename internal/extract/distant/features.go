@@ -1,0 +1,183 @@
+// Package distant implements the statistical-learning family of fact
+// harvesting (§3): distant supervision. A seed knowledge base labels
+// entity-pair co-occurrences in text (pairs with a known relation become
+// positive training instances, others negatives), a feature-based
+// classifier is trained on these silver labels, and the model then
+// extracts facts from unseen sentences — including paraphrases no
+// hand-written pattern covers. Two from-scratch classifiers are provided:
+// an averaged multi-class perceptron and multinomial naive Bayes.
+package distant
+
+import (
+	"fmt"
+	"strings"
+
+	"kbharvest/internal/extract"
+	"kbharvest/internal/parse"
+	"kbharvest/internal/text"
+)
+
+// NoneLabel marks entity pairs that stand in no known relation.
+const NoneLabel = "NONE"
+
+// Featurize renders one (sentence, subject span, object span) pair as a
+// feature-string bag: middle unigrams/bigram, flanking words, mention
+// distance bucket, ordering, and the dependency path between the mentions.
+func Featurize(sent extract.Sentence, a, b extract.Span) []string {
+	var feats []string
+	first, second := a, b
+	inverted := false
+	if b.Start < a.Start {
+		first, second = b, a
+		inverted = true
+	}
+	if inverted {
+		feats = append(feats, "order:inv")
+	} else {
+		feats = append(feats, "order:fwd")
+	}
+
+	middle := ""
+	if second.Start >= first.End {
+		middle = sent.Text[first.End:second.Start]
+	}
+	midWords := maskYears(strings.Fields(strings.ToLower(middle)))
+	for _, w := range midWords {
+		feats = append(feats, "mid:"+w)
+	}
+	for i := 0; i+1 < len(midWords); i++ {
+		feats = append(feats, "mid2:"+midWords[i]+"_"+midWords[i+1])
+	}
+	feats = append(feats, "midall:"+strings.Join(midWords, "_"))
+	feats = append(feats, fmt.Sprintf("dist:%d", distBucket(len(midWords))))
+
+	// Flanking words.
+	beforeWords := strings.Fields(strings.ToLower(sent.Text[:first.Start]))
+	if len(beforeWords) > 0 {
+		feats = append(feats, "before:"+trimPunct(beforeWords[len(beforeWords)-1]))
+	}
+	afterWords := strings.Fields(strings.ToLower(sent.Text[second.End:]))
+	if len(afterWords) > 0 {
+		feats = append(feats, "after:"+trimPunct(afterWords[0]))
+	}
+
+	// Dependency path between the mention head tokens.
+	tagged := text.Tag(text.Tokenize(sent.Text))
+	tree := parse.Parse(tagged)
+	ai := tokenIndexAt(tagged, a.End-1)
+	bi := tokenIndexAt(tagged, b.End-1)
+	if ai >= 0 && bi >= 0 {
+		if p := tree.Path(ai, bi); p != "" {
+			feats = append(feats, "path:"+p)
+		}
+	}
+	return feats
+}
+
+func maskYears(words []string) []string {
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		w = trimPunct(w)
+		if w == "" {
+			continue
+		}
+		if len(w) == 4 && allDigits(w) {
+			w = "<year>"
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func trimPunct(w string) string { return strings.Trim(w, ",.;:!?\"'()") }
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func distBucket(n int) int {
+	switch {
+	case n <= 2:
+		return 0
+	case n <= 5:
+		return 1
+	case n <= 10:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// tokenIndexAt finds the token covering byte offset off.
+func tokenIndexAt(toks []text.TaggedToken, off int) int {
+	for i, t := range toks {
+		if off >= t.Start && off < t.End {
+			return i
+		}
+	}
+	return -1
+}
+
+// Instance is one training/prediction example.
+type Instance struct {
+	Features []string
+	Label    string
+	// S, O carry the entity pair for extraction output.
+	S, O   string
+	Source string
+}
+
+// BuildInstances labels every close entity-pair co-occurrence with the
+// relation the seed KB asserts between the entities (distant supervision's
+// core assumption), or NoneLabel when the KB knows none. keepNone
+// subsamples negatives deterministically (every k-th) to balance classes.
+func BuildInstances(sents []extract.Sentence, kbLabel func(s, o string) (string, bool), keepNone int) []Instance {
+	if keepNone < 1 {
+		keepNone = 1
+	}
+	var out []Instance
+	noneSeen := 0
+	for _, sent := range sents {
+		spans := sent.Spans
+		for i := 0; i < len(spans); i++ {
+			for j := 0; j < len(spans); j++ {
+				if i == j || spans[i].Entity == spans[j].Entity {
+					continue
+				}
+				if spans[j].Start >= spans[i].Start && spans[j].Start-spans[i].End > 80 {
+					continue
+				}
+				if spans[i].Start > spans[j].Start {
+					continue // handled when roles swap: featurize both directions via (i,j) with i subject
+				}
+				// Try both role assignments for this ordered pair.
+				for _, roles := range [][2]int{{i, j}, {j, i}} {
+					s, o := spans[roles[0]], spans[roles[1]]
+					label, ok := kbLabel(s.Entity, o.Entity)
+					if !ok {
+						label = NoneLabel
+					}
+					if label == NoneLabel {
+						noneSeen++
+						if noneSeen%keepNone != 0 {
+							continue
+						}
+					}
+					out = append(out, Instance{
+						Features: Featurize(sent, s, o),
+						Label:    label,
+						S:        s.Entity,
+						O:        o.Entity,
+						Source:   sent.Source,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+// Package openie implements ReVerb-style open information extraction
+// (§3 "Open Information Extraction"): harvesting arbitrary SPO triples
+// from natural-language sentences by taking noun phrases as argument
+// candidates and verb phrases as prototypic relation phrases, constrained
+// syntactically (the relation must match a V | V P | V W* P part-of-speech
+// pattern) and lexically (the relation phrase must occur with enough
+// distinct argument pairs to be a general relation, not a fragment).
+package openie
+
+import (
+	"sort"
+	"strings"
+
+	"kbharvest/internal/text"
+)
+
+// Extraction is one open-IE triple with surface arguments.
+type Extraction struct {
+	Arg1, Rel, Arg2 string
+	// Normalized is the canonicalized relation phrase (auxiliaries and
+	// adverbs dropped, head verb lemmatized): "was founded by" ->
+	// "found by".
+	Normalized string
+	Confidence float64
+	Sentence   string
+	Source     string
+}
+
+// Options toggle the two ReVerb constraints — the ablation of experiment
+// E7 measures their effect on yield and precision.
+type Options struct {
+	// Syntactic requires the relation phrase to match V | V P | V W* P.
+	// Without it, any token span between two NPs becomes a relation
+	// phrase (the incoherent-extraction failure mode ReVerb fixes).
+	Syntactic bool
+	// Lexical drops extractions whose normalized relation phrase
+	// supports fewer than MinRelPairs distinct argument pairs corpus-wide.
+	Lexical     bool
+	MinRelPairs int
+}
+
+// DefaultOptions enables both constraints.
+func DefaultOptions() Options {
+	return Options{Syntactic: true, Lexical: true, MinRelPairs: 3}
+}
+
+// Doc is one input document.
+type Doc struct {
+	Text   string
+	Source string
+}
+
+// Extract runs open IE over the documents.
+func Extract(docs []Doc, opt Options) []Extraction {
+	if opt.MinRelPairs == 0 {
+		opt.MinRelPairs = DefaultOptions().MinRelPairs
+	}
+	var out []Extraction
+	for _, d := range docs {
+		for _, sent := range text.SplitSentences(d.Text) {
+			out = append(out, extractSentence(sent.Text, d.Source, opt)...)
+		}
+	}
+	if opt.Lexical {
+		out = applyLexicalConstraint(out, opt.MinRelPairs)
+	}
+	return out
+}
+
+// extractSentence finds (NP, relation phrase, NP) triples in one sentence.
+func extractSentence(sentence, source string, opt Options) []Extraction {
+	tagged := text.Tag(text.Tokenize(sentence))
+	chunks := text.ChunkSentence(tagged)
+	var out []Extraction
+	for i := 0; i < len(chunks); i++ {
+		if chunks[i].Kind != text.ChunkNP {
+			continue
+		}
+		// Find the next NP to the right and treat the span between as the
+		// relation-phrase candidate.
+		for j := i + 1; j < len(chunks); j++ {
+			if chunks[j].Kind != text.ChunkNP {
+				continue
+			}
+			between := chunks[i+1 : j]
+			rel, norm, ok := relationPhrase(between, opt.Syntactic)
+			if !ok {
+				break // no relation between these NPs; move to next left NP
+			}
+			ex := Extraction{
+				Arg1:       chunkTextNoDet(chunks[i]),
+				Rel:        rel,
+				Normalized: norm,
+				Arg2:       chunkTextNoDet(chunks[j]),
+				Sentence:   sentence,
+				Source:     source,
+			}
+			ex.Confidence = confidence(ex, chunks[i], chunks[j])
+			out = append(out, ex)
+			break // one extraction per left NP (nearest-NP heuristic)
+		}
+	}
+	return out
+}
+
+// relationPhrase validates and renders the chunk span between two NPs.
+// With the syntactic constraint it must be VP (IN|TO)? — a verb group
+// optionally ending in one preposition. Without it, any non-empty span up
+// to 5 tokens is accepted verbatim.
+func relationPhrase(between []text.Chunk, syntactic bool) (string, string, bool) {
+	if len(between) == 0 {
+		return "", "", false
+	}
+	var toks []text.TaggedToken
+	for _, c := range between {
+		toks = append(toks, c.Tokens...)
+	}
+	if len(toks) == 0 || len(toks) > 6 {
+		return "", "", false
+	}
+	if syntactic {
+		// Pattern: VP chunk first, then optionally one IN/TO token.
+		if between[0].Kind != text.ChunkVP {
+			return "", "", false
+		}
+		switch len(between) {
+		case 1:
+			// pure verb group
+		case 2:
+			if between[1].Kind != text.ChunkOther || len(between[1].Tokens) != 1 {
+				return "", "", false
+			}
+			t := between[1].Tokens[0].Tag
+			if t != text.TagIN && t != text.TagTO {
+				return "", "", false
+			}
+		default:
+			return "", "", false
+		}
+	} else {
+		// Unconstrained: reject only punctuation-bearing spans (sentence
+		// structure) to stay comparable.
+		for _, t := range toks {
+			if t.Tag == text.TagPct {
+				return "", "", false
+			}
+		}
+	}
+	words := make([]string, len(toks))
+	for i, t := range toks {
+		words[i] = t.Text
+	}
+	return strings.Join(words, " "), normalizeRelation(toks), true
+}
+
+// normalizeRelation lowercases, drops auxiliaries/adverbs, lemmatizes the
+// head verb, and keeps a trailing preposition.
+func normalizeRelation(toks []text.TaggedToken) string {
+	var parts []string
+	for i, t := range toks {
+		lw := strings.ToLower(t.Text)
+		switch t.Tag {
+		case text.TagRB, text.TagMD:
+			continue
+		case text.TagVBD, text.TagVBZ, text.TagVBP, text.TagVBG, text.TagVBN, text.TagVB:
+			// Auxiliary be/have before another verb is dropped.
+			if isAuxWord(lw) && hasLaterVerb(toks, i) {
+				continue
+			}
+			parts = append(parts, text.Lemma(t.Text, t.Tag))
+		case text.TagIN, text.TagTO:
+			parts = append(parts, lw)
+		default:
+			parts = append(parts, lw)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func isAuxWord(lw string) bool {
+	switch lw {
+	case "is", "are", "was", "were", "be", "been", "being", "am",
+		"has", "have", "had", "having", "does", "do", "did":
+		return true
+	}
+	return false
+}
+
+func hasLaterVerb(toks []text.TaggedToken, i int) bool {
+	for j := i + 1; j < len(toks); j++ {
+		switch toks[j].Tag {
+		case text.TagVBD, text.TagVBZ, text.TagVBP, text.TagVBG, text.TagVBN, text.TagVB:
+			return true
+		}
+	}
+	return false
+}
+
+// chunkTextNoDet renders an NP without its leading determiner ("the Nova
+// 3" -> "Nova 3").
+func chunkTextNoDet(c text.Chunk) string {
+	toks := c.Tokens
+	for len(toks) > 0 && toks[0].Tag == text.TagDT {
+		toks = toks[1:]
+	}
+	words := make([]string, len(toks))
+	for i, t := range toks {
+		words[i] = t.Text
+	}
+	return strings.Join(words, " ")
+}
+
+// confidence is a hand-tuned scoring function in the spirit of ReVerb's
+// logistic regression: proper-noun arguments, short relation phrases, and
+// prepositional endings score higher.
+func confidence(ex Extraction, left, right text.Chunk) float64 {
+	score := 0.4
+	if left.IsProper() {
+		score += 0.2
+	}
+	if right.IsProper() {
+		score += 0.2
+	}
+	nRelWords := len(strings.Fields(ex.Rel))
+	if nRelWords <= 3 {
+		score += 0.1
+	}
+	if strings.HasSuffix(ex.Normalized, " in") || strings.HasSuffix(ex.Normalized, " by") ||
+		strings.HasSuffix(ex.Normalized, " at") || strings.HasSuffix(ex.Normalized, " from") ||
+		strings.HasSuffix(ex.Normalized, " to") || strings.HasSuffix(ex.Normalized, " of") {
+		score += 0.1
+	}
+	if score > 1 {
+		score = 1
+	}
+	return score
+}
+
+// applyLexicalConstraint keeps extractions whose normalized relation has
+// at least minPairs distinct argument pairs.
+func applyLexicalConstraint(exs []Extraction, minPairs int) []Extraction {
+	pairs := make(map[string]map[string]bool)
+	for _, ex := range exs {
+		if pairs[ex.Normalized] == nil {
+			pairs[ex.Normalized] = make(map[string]bool)
+		}
+		pairs[ex.Normalized][ex.Arg1+"\x00"+ex.Arg2] = true
+	}
+	out := exs[:0]
+	for _, ex := range exs {
+		if len(pairs[ex.Normalized]) >= minPairs {
+			out = append(out, ex)
+		}
+	}
+	return out
+}
+
+// RelationCounts tallies normalized relation phrases — the inventory of
+// "prototypic patterns for relations" open IE discovers.
+func RelationCounts(exs []Extraction) []struct {
+	Rel   string
+	Count int
+} {
+	counts := make(map[string]int)
+	for _, ex := range exs {
+		counts[ex.Normalized]++
+	}
+	out := make([]struct {
+		Rel   string
+		Count int
+	}, 0, len(counts))
+	for rel, n := range counts {
+		out = append(out, struct {
+			Rel   string
+			Count int
+		}{rel, n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Rel < out[j].Rel
+	})
+	return out
+}

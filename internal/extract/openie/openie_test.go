@@ -1,0 +1,191 @@
+package openie
+
+import (
+	"strings"
+	"testing"
+
+	"kbharvest/internal/synth"
+)
+
+func extractOne(sentence string, opt Options) []Extraction {
+	return Extract([]Doc{{Text: sentence, Source: "t"}}, opt)
+}
+
+func TestExtractSVO(t *testing.T) {
+	exs := extractOne("Steve Jobs founded Apple.", Options{Syntactic: true})
+	if len(exs) != 1 {
+		t.Fatalf("extractions = %+v", exs)
+	}
+	ex := exs[0]
+	if ex.Arg1 != "Steve Jobs" || ex.Rel != "founded" || ex.Arg2 != "Apple" {
+		t.Errorf("extraction = %+v", ex)
+	}
+	if ex.Normalized != "found" {
+		t.Errorf("normalized = %q", ex.Normalized)
+	}
+}
+
+func TestExtractPassiveWithPreposition(t *testing.T) {
+	exs := extractOne("Apple was founded by Steve Jobs.", Options{Syntactic: true})
+	if len(exs) != 1 {
+		t.Fatalf("extractions = %+v", exs)
+	}
+	ex := exs[0]
+	if ex.Arg1 != "Apple" || ex.Arg2 != "Steve Jobs" {
+		t.Errorf("args = %q / %q", ex.Arg1, ex.Arg2)
+	}
+	if ex.Normalized != "found by" {
+		t.Errorf("normalized = %q", ex.Normalized)
+	}
+}
+
+func TestExtractVerbPlusPreposition(t *testing.T) {
+	exs := extractOne("Alice Foo graduated from Bar University.", Options{Syntactic: true})
+	if len(exs) != 1 {
+		t.Fatalf("extractions = %+v", exs)
+	}
+	if exs[0].Normalized != "graduate from" {
+		t.Errorf("normalized = %q", exs[0].Normalized)
+	}
+}
+
+func TestSyntacticConstraintBlocksNonVerbSpans(t *testing.T) {
+	// "the CEO of Acme" — between "Alice" and "Acme" lies "the CEO of",
+	// not a verb phrase.
+	exs := extractOne("Alice , the CEO of Acme , resigned.", Options{Syntactic: true})
+	for _, ex := range exs {
+		if strings.Contains(ex.Rel, "CEO") {
+			t.Errorf("noun span extracted as relation: %+v", ex)
+		}
+	}
+}
+
+func TestUnconstrainedYieldsMore(t *testing.T) {
+	docs := []Doc{{Text: "Alice Foo , director of Acme Systems , praised Bob. " +
+		"Carol Moo founded Dex Corp. Erin Zed joined Flux Labs in 1999.", Source: "t"}}
+	constrained := Extract(docs, Options{Syntactic: true})
+	unconstrained := Extract(docs, Options{Syntactic: false})
+	if len(unconstrained) <= len(constrained) {
+		t.Errorf("unconstrained %d should out-yield constrained %d",
+			len(unconstrained), len(constrained))
+	}
+}
+
+func TestLexicalConstraintFiltersRareRelations(t *testing.T) {
+	var docs []Doc
+	// "founded" appears with 3 distinct pairs; "zorbled" with 1.
+	docs = append(docs,
+		Doc{Text: "Alice Foo founded Acme Systems."},
+		Doc{Text: "Bob Bar founded Beta Works."},
+		Doc{Text: "Carol Moo founded Gamma Labs."},
+		Doc{Text: "Dave Qux zorbled Delta Inc."},
+	)
+	exs := Extract(docs, Options{Syntactic: false, Lexical: true, MinRelPairs: 3})
+	for _, ex := range exs {
+		if strings.Contains(ex.Rel, "zorbled") {
+			t.Errorf("rare relation survived lexical constraint: %+v", ex)
+		}
+	}
+	found := false
+	for _, ex := range exs {
+		if ex.Normalized == "found" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("frequent relation was dropped: %+v", exs)
+	}
+}
+
+func TestConfidenceOrdering(t *testing.T) {
+	proper := extractOne("Steve Jobs founded Apple.", Options{Syntactic: true})
+	common := extractOne("the man founded the group.", Options{Syntactic: true})
+	if len(proper) == 0 || len(common) == 0 {
+		t.Skip("extraction failed on one input")
+	}
+	if proper[0].Confidence <= common[0].Confidence {
+		t.Errorf("proper-noun extraction should score higher: %v vs %v",
+			proper[0].Confidence, common[0].Confidence)
+	}
+}
+
+func TestArgDeterminerStripped(t *testing.T) {
+	exs := extractOne("Acme Systems released the Nova 3 in 2012.", Options{Syntactic: true})
+	if len(exs) == 0 {
+		t.Fatal("no extraction")
+	}
+	if strings.HasPrefix(exs[0].Arg2, "the ") {
+		t.Errorf("determiner not stripped: %q", exs[0].Arg2)
+	}
+}
+
+func TestRelationCounts(t *testing.T) {
+	docs := []Doc{
+		{Text: "A Foo founded B Corp. C Moo founded D Inc. E Zed acquired F Ltd."},
+	}
+	exs := Extract(docs, Options{Syntactic: true})
+	counts := RelationCounts(exs)
+	if len(counts) == 0 {
+		t.Fatal("no relation counts")
+	}
+	if counts[0].Rel != "found" || counts[0].Count != 2 {
+		t.Errorf("top relation = %+v", counts[0])
+	}
+}
+
+func TestExtractOnSyntheticCorpus(t *testing.T) {
+	w := synth.Generate(synth.Config{
+		People: 60, Companies: 15, Cities: 10, Countries: 3,
+		Universities: 6, Products: 12, Prizes: 4,
+	}, 41)
+	corpus := synth.BuildCorpus(w, synth.DefaultCorpusOptions())
+	var docs []Doc
+	for _, a := range corpus.Articles {
+		docs = append(docs, Doc{Text: a.Text, Source: a.ID})
+	}
+	exs := Extract(docs, DefaultOptions())
+	if len(exs) < 100 {
+		t.Fatalf("only %d extractions", len(exs))
+	}
+	// Coherence proxy: most args should be resolvable entity names or
+	// aliases (the corpus is entity-dense).
+	names := map[string]bool{}
+	for _, e := range w.Entities {
+		names[e.Name] = true
+		for _, a := range e.Aliases {
+			names[a] = true
+		}
+	}
+	resolvable := 0
+	for _, ex := range exs {
+		if names[ex.Arg1] {
+			resolvable++
+		}
+	}
+	frac := float64(resolvable) / float64(len(exs))
+	if frac < 0.5 {
+		t.Errorf("only %.2f of arg1s resolve to entities", frac)
+	}
+	// The discovered relation inventory must include the world's core
+	// relation phrases.
+	rels := map[string]bool{}
+	for _, rc := range RelationCounts(exs) {
+		rels[rc.Rel] = true
+	}
+	for _, want := range []string{"found by", "marry", "work at", "graduate from"} {
+		if !rels[want] {
+			t.Errorf("relation inventory missing %q", want)
+		}
+	}
+	// Low-frequency paraphrases ("bought": ~1 pair in this small world)
+	// must have been cut by the lexical constraint.
+	if rels["buy"] {
+		t.Error("lexical constraint should drop 1-pair relations")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if got := Extract(nil, DefaultOptions()); len(got) != 0 {
+		t.Errorf("Extract(nil) = %v", got)
+	}
+}

@@ -1,0 +1,245 @@
+package patterns
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"kbharvest/internal/extract"
+)
+
+func log2(x float64) float64 { return math.Log2(x) }
+
+// DIPRE/Snowball-style bootstrapping (§3): starting from a handful of seed
+// facts of one relation, alternately (a) collect the textual patterns that
+// connect seed pairs and (b) apply confident patterns to harvest new
+// pairs, growing the seed set each round. Precision decays and recall
+// grows with iterations — the trade-off experiment E3 charts.
+
+// Pair is one (subject, object) instance of the target relation.
+type Pair struct{ S, O string }
+
+// LearnedPattern is a bootstrapped pattern with its statistics.
+type LearnedPattern struct {
+	Middle   string
+	Inverted bool
+	Positive int // distinct seed pairs matched
+	Matches  int // distinct pairs matched overall
+	Negative int // matches contradicting a (functional) seed subject
+	// Confidence is the pattern's selectivity, Positive/(Matches +
+	// Negative): how exclusively the pattern connects seed pairs. Generic
+	// contexts that connect many non-seed pairs score low — the guard
+	// against semantic drift.
+	Confidence float64
+}
+
+// IterationStats records what one bootstrap round produced.
+type IterationStats struct {
+	Iteration   int
+	NewPatterns int
+	NewFacts    int
+	SeedSize    int
+}
+
+// BootstrapConfig tunes the loop.
+type BootstrapConfig struct {
+	// Iterations is the number of pattern/fact rounds. Default 3.
+	Iterations int
+	// MinPatternSupport is the minimum distinct seed pairs a pattern
+	// must match. Default 2.
+	MinPatternSupport int
+	// MinPatternConfidence is a selectivity floor; patterns whose seed
+	// matches are a tiny fraction of everything they match are rejected
+	// outright. Default 0.02.
+	MinPatternConfidence float64
+	// MaxNewPatterns caps how many new patterns each iteration accepts
+	// (highest RlogF score first) — the DIPRE-style dial between
+	// conservative (1) and aggressive (many) harvesting. Default 2.
+	MaxNewPatterns int
+	// FunctionalSubject treats the relation as functional when scoring
+	// pattern contradictions (a pattern matching (s, o') where a seed
+	// says (s, o) counts negative).
+	FunctionalSubject bool
+}
+
+// DefaultBootstrapConfig returns the standard settings.
+func DefaultBootstrapConfig() BootstrapConfig {
+	return BootstrapConfig{Iterations: 3, MinPatternSupport: 2, MinPatternConfidence: 0.02, MaxNewPatterns: 2}
+}
+
+// BootstrapResult is the outcome of a run.
+type BootstrapResult struct {
+	Rel      string
+	Patterns []LearnedPattern
+	// Facts are all harvested candidates (excluding the input seeds),
+	// annotated with the iteration that found them via Source.
+	Facts      []extract.Candidate
+	Iterations []IterationStats
+}
+
+// Bootstrap runs the loop for one relation over the sentence collection.
+func Bootstrap(sents []extract.Sentence, rel string, seeds []Pair, cfg BootstrapConfig) BootstrapResult {
+	if cfg.Iterations == 0 {
+		cfg = DefaultBootstrapConfig()
+	}
+	ctxs := contexts(sents)
+	res := BootstrapResult{Rel: rel}
+
+	seedSet := make(map[Pair]bool)
+	seedObj := make(map[string]map[string]bool) // subject -> objects in seeds
+	addSeed := func(p Pair) {
+		if seedSet[p] {
+			return
+		}
+		seedSet[p] = true
+		if seedObj[p.S] == nil {
+			seedObj[p.S] = make(map[string]bool)
+		}
+		seedObj[p.S][p.O] = true
+	}
+	for _, s := range seeds {
+		addSeed(s)
+	}
+
+	knownPattern := make(map[string]bool) // middle+dir already accepted
+	knownFact := make(map[Pair]bool)
+
+	for iter := 1; iter <= cfg.Iterations; iter++ {
+		// (a) Pattern induction: score every (middle, direction) by seed
+		// matches.
+		type pkey struct {
+			middle   string
+			inverted bool
+		}
+		pos := make(map[pkey]map[Pair]bool)
+		all := make(map[pkey]map[Pair]bool)
+		neg := make(map[pkey]int)
+		for _, ctx := range ctxs {
+			for _, inv := range []bool{false, true} {
+				s, o := ctx.s, ctx.o
+				if inv {
+					s, o = o, s
+				}
+				k := pkey{ctx.middle, inv}
+				if all[k] == nil {
+					all[k] = make(map[Pair]bool)
+				}
+				all[k][Pair{s, o}] = true
+				if seedSet[Pair{s, o}] {
+					if pos[k] == nil {
+						pos[k] = make(map[Pair]bool)
+					}
+					pos[k][Pair{s, o}] = true
+				} else if cfg.FunctionalSubject && seedObj[s] != nil && !seedObj[s][o] {
+					neg[k]++
+				}
+			}
+		}
+		// Rank candidate patterns by RlogF (Riloff): selectivity times
+		// log of seed support — high-support, seed-exclusive contexts
+		// first. Accept the top MaxNewPatterns above the floors.
+		type scored struct {
+			k     pkey
+			lp    LearnedPattern
+			rlogf float64
+		}
+		var ranked []scored
+		for k, pairs := range pos {
+			if len(pairs) < cfg.MinPatternSupport {
+				continue
+			}
+			conf := float64(len(pairs)) / float64(len(all[k])+neg[k])
+			if conf < cfg.MinPatternConfidence {
+				continue
+			}
+			if knownPattern[k.middle+"|"+boolStr(k.inverted)] {
+				continue
+			}
+			ranked = append(ranked, scored{
+				k: k,
+				lp: LearnedPattern{
+					Middle: k.middle, Inverted: k.inverted,
+					Positive: len(pairs), Matches: len(all[k]), Negative: neg[k], Confidence: conf,
+				},
+				rlogf: conf * log2(float64(len(pairs))+1),
+			})
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].rlogf != ranked[j].rlogf {
+				return ranked[i].rlogf > ranked[j].rlogf
+			}
+			if ranked[i].k.middle != ranked[j].k.middle {
+				return ranked[i].k.middle < ranked[j].k.middle
+			}
+			return !ranked[i].k.inverted
+		})
+		maxNew := cfg.MaxNewPatterns
+		if maxNew <= 0 {
+			maxNew = 2
+		}
+		newPatterns := 0
+		for _, sc := range ranked {
+			if newPatterns >= maxNew {
+				break
+			}
+			knownPattern[sc.k.middle+"|"+boolStr(sc.k.inverted)] = true
+			newPatterns++
+			res.Patterns = append(res.Patterns, sc.lp)
+		}
+
+		// (b) Fact harvesting: apply every accepted pattern (all learned
+		// so far) to all contexts.
+		newFacts := 0
+		for _, ctx := range ctxs {
+			for _, p := range res.Patterns {
+				if ctx.middle != p.Middle {
+					continue
+				}
+				s, o := ctx.s, ctx.o
+				if p.Inverted {
+					s, o = o, s
+				}
+				pair := Pair{s, o}
+				if seedSet[pair] || knownFact[pair] {
+					continue
+				}
+				knownFact[pair] = true
+				newFacts++
+				res.Facts = append(res.Facts, extract.Candidate{
+					S: s, P: rel, O: o,
+					Confidence: p.Confidence,
+					Source:     itoaIter(iter),
+					Middle:     p.Middle,
+				})
+			}
+		}
+		// Grow seeds with this round's harvest.
+		for p := range knownFact {
+			addSeed(p)
+		}
+		res.Iterations = append(res.Iterations, IterationStats{
+			Iteration: iter, NewPatterns: newPatterns, NewFacts: newFacts, SeedSize: len(seedSet),
+		})
+		if newPatterns == 0 && newFacts == 0 {
+			break
+		}
+	}
+	sort.Slice(res.Patterns, func(i, j int) bool {
+		if res.Patterns[i].Confidence != res.Patterns[j].Confidence {
+			return res.Patterns[i].Confidence > res.Patterns[j].Confidence
+		}
+		return res.Patterns[i].Middle < res.Patterns[j].Middle
+	})
+	return res
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "inv"
+	}
+	return "fwd"
+}
+
+func itoaIter(i int) string {
+	return "bootstrap:iter" + strconv.Itoa(i)
+}

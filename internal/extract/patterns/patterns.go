@@ -1,0 +1,228 @@
+// Package patterns implements pattern-based relational fact harvesting
+// (§3 "Harvesting Relational Facts — pattern matching"): hand-written
+// surface patterns, infobox harvesting, and DIPRE/Snowball-style pattern
+// bootstrapping that alternates between finding patterns from seed facts
+// and finding facts from learned patterns.
+package patterns
+
+import (
+	"sort"
+	"strings"
+
+	"kbharvest/internal/extract"
+)
+
+// pairContext is one co-occurring mention pair and the text between them.
+type pairContext struct {
+	s, o   string
+	middle string
+	source string
+}
+
+// maxGap bounds the middle context length in bytes; longer gaps rarely
+// express a direct relation.
+const maxGap = 60
+
+// contexts enumerates ordered mention pairs with normalized middles.
+func contexts(sents []extract.Sentence) []pairContext {
+	var out []pairContext
+	for _, sent := range sents {
+		spans := append([]extract.Span(nil), sent.Spans...)
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		for i := 0; i < len(spans); i++ {
+			for j := i + 1; j < len(spans); j++ {
+				if spans[j].Start-spans[i].End > maxGap {
+					break
+				}
+				if spans[i].Entity == spans[j].Entity {
+					continue
+				}
+				mid := normalizeMiddle(sent.Text[spans[i].End:spans[j].Start])
+				if mid == "" {
+					continue
+				}
+				out = append(out, pairContext{
+					s: spans[i].Entity, o: spans[j].Entity,
+					middle: mid, source: sent.Source,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// normalizeMiddle lowercases, trims, collapses whitespace, and masks
+// four-digit years so patterns generalize over dates.
+func normalizeMiddle(s string) string {
+	fields := strings.Fields(strings.ToLower(s))
+	for i, f := range fields {
+		f = strings.Trim(f, ",.;:!?")
+		if len(f) == 4 && allDigits(f) {
+			f = "<year>"
+		}
+		fields[i] = f
+	}
+	// Drop leading/trailing empties from trimming.
+	out := fields[:0]
+	for _, f := range fields {
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// SurfacePattern is one hand-written extraction rule: a relation, the
+// normalized middle string that signals it, and whether subject/object
+// order is inverted ("O was founded by S").
+type SurfacePattern struct {
+	Rel      string
+	Middle   string
+	Inverted bool
+}
+
+// DefaultPatterns are the hand-written rules for the synthetic world's
+// relations — the "regular expressions" end of the tutorial's method
+// spectrum. Middles use the normalized form produced by normalizeMiddle.
+func DefaultPatterns() []SurfacePattern {
+	return []SurfacePattern{
+		{Rel: "kb:founded", Middle: "founded"},
+		{Rel: "kb:founded", Middle: "founded <year>", Inverted: false},
+		{Rel: "kb:founded", Middle: "was founded by", Inverted: true},
+		{Rel: "kb:founded", Middle: "established"},
+		{Rel: "kb:founded", Middle: "started"},
+		{Rel: "kb:bornIn", Middle: "was born in"},
+		{Rel: "kb:acquired", Middle: "acquired"},
+		{Rel: "kb:acquired", Middle: "bought"},
+		{Rel: "kb:acquired", Middle: "was acquired by", Inverted: true},
+		{Rel: "kb:locatedIn", Middle: "is headquartered in"},
+		{Rel: "kb:locatedIn", Middle: "is located in"},
+		{Rel: "kb:locatedIn", Middle: "is based in"},
+		{Rel: "kb:marriedTo", Middle: "married"},
+		{Rel: "kb:marriedTo", Middle: "is married to"},
+		{Rel: "kb:graduatedFrom", Middle: "graduated from"},
+		{Rel: "kb:graduatedFrom", Middle: "studied at"},
+		{Rel: "kb:worksAt", Middle: "worked at"},
+		{Rel: "kb:worksAt", Middle: "joined"},
+		{Rel: "kb:wonPrize", Middle: "won the"},
+		{Rel: "kb:wonPrize", Middle: "received the"},
+		{Rel: "kb:ceoOf", Middle: "served as ceo of"},
+		{Rel: "kb:ceoOf", Middle: "led"},
+		{Rel: "kb:created", Middle: "released the"},
+		{Rel: "kb:created", Middle: "unveiled the"},
+		{Rel: "kb:created", Middle: "was released by", Inverted: true},
+	}
+}
+
+// Apply runs surface patterns over sentences. A pattern fires when its
+// middle is a prefix of the normalized pair context (so "founded" also
+// matches "founded <year>" contexts but not vice versa) — longest match
+// wins per pair.
+func Apply(sents []extract.Sentence, pats []SurfacePattern) []extract.Candidate {
+	ctxs := contexts(sents)
+	var out []extract.Candidate
+	seen := make(map[string]bool)
+	for _, ctx := range ctxs {
+		best := -1
+		bestLen := -1
+		for i, p := range pats {
+			if matchesMiddle(ctx.middle, p.Middle) && len(p.Middle) > bestLen {
+				best, bestLen = i, len(p.Middle)
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		p := pats[best]
+		s, o := ctx.s, ctx.o
+		if p.Inverted {
+			s, o = o, s
+		}
+		c := extract.Candidate{S: s, P: p.Rel, O: o, Confidence: 0.9, Source: ctx.source, Middle: ctx.middle}
+		if !seen[c.Key()] {
+			seen[c.Key()] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// matchesMiddle reports whether the pattern middle matches the context
+// middle: exact, or pattern followed by supplementary tokens like
+// "in <year>" / "on <date words>".
+func matchesMiddle(ctx, pat string) bool {
+	if ctx == pat {
+		return true
+	}
+	if !strings.HasPrefix(ctx, pat+" ") {
+		return false
+	}
+	rest := ctx[len(pat)+1:]
+	// Accept only date-ish continuations.
+	for _, f := range strings.Fields(rest) {
+		switch {
+		case f == "in", f == "on", f == "<year>":
+		case isMonthWord(f), allDigits(f):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isMonthWord(f string) bool {
+	switch f {
+	case "january", "february", "march", "april", "may", "june", "july",
+		"august", "september", "october", "november", "december":
+		return true
+	}
+	return false
+}
+
+// Infobox is one semi-structured attribute box from an article.
+type Infobox struct {
+	Subject string // entity IRI the article is about
+	Fields  map[string]string
+}
+
+// HarvestInfoboxes turns infobox fields into candidates using a key ->
+// relation mapping and a name -> entity resolver. Infobox extraction is
+// the high-precision backbone of DBpedia-style harvesting (§2).
+func HarvestInfoboxes(boxes []Infobox, relOf func(key string) (rel string, inverted bool, ok bool), resolve func(name string) (string, bool)) []extract.Candidate {
+	var out []extract.Candidate
+	for _, b := range boxes {
+		keys := make([]string, 0, len(b.Fields))
+		for k := range b.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			rel, inverted, ok := relOf(key)
+			if !ok {
+				continue
+			}
+			obj, ok := resolve(b.Fields[key])
+			if !ok {
+				continue
+			}
+			s, o := b.Subject, obj
+			if inverted {
+				s, o = o, s
+			}
+			out = append(out, extract.Candidate{
+				S: s, P: rel, O: o, Confidence: 0.95,
+				Source: "infobox:" + b.Subject, Middle: key,
+			})
+		}
+	}
+	return out
+}

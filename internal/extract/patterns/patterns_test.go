@@ -1,0 +1,290 @@
+package patterns
+
+import (
+	"strings"
+	"testing"
+
+	"kbharvest/internal/eval"
+	"kbharvest/internal/extract"
+	"kbharvest/internal/synth"
+)
+
+// sentence builds an extract.Sentence by locating the given names in text.
+func sentence(textStr string, entities map[string]string) extract.Sentence {
+	s := extract.Sentence{Text: textStr, Source: "test"}
+	for name, iri := range entities {
+		if i := strings.Index(textStr, name); i >= 0 {
+			s.Spans = append(s.Spans, extract.Span{Start: i, End: i + len(name), Entity: iri})
+		}
+	}
+	return s
+}
+
+func TestApplySimplePattern(t *testing.T) {
+	sents := []extract.Sentence{
+		sentence("Alice Foo founded Acme Systems in 1976.", map[string]string{
+			"Alice Foo": "kb:Alice", "Acme Systems": "kb:Acme",
+		}),
+	}
+	cands := Apply(sents, DefaultPatterns())
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %+v", cands)
+	}
+	c := cands[0]
+	if c.S != "kb:Alice" || c.P != "kb:founded" || c.O != "kb:Acme" {
+		t.Errorf("candidate = %+v", c)
+	}
+}
+
+func TestApplyInvertedPattern(t *testing.T) {
+	sents := []extract.Sentence{
+		sentence("Acme Systems was founded by Alice Foo in 1976.", map[string]string{
+			"Alice Foo": "kb:Alice", "Acme Systems": "kb:Acme",
+		}),
+	}
+	cands := Apply(sents, DefaultPatterns())
+	if len(cands) != 1 || cands[0].S != "kb:Alice" || cands[0].O != "kb:Acme" {
+		t.Fatalf("candidates = %+v", cands)
+	}
+}
+
+func TestApplyNoMatch(t *testing.T) {
+	sents := []extract.Sentence{
+		sentence("Alice Foo admired Acme Systems deeply.", map[string]string{
+			"Alice Foo": "kb:Alice", "Acme Systems": "kb:Acme",
+		}),
+	}
+	if cands := Apply(sents, DefaultPatterns()); len(cands) != 0 {
+		t.Errorf("unexpected candidates %+v", cands)
+	}
+}
+
+func TestApplyDedupes(t *testing.T) {
+	s := sentence("Alice Foo founded Acme Systems in 1976.", map[string]string{
+		"Alice Foo": "kb:Alice", "Acme Systems": "kb:Acme",
+	})
+	cands := Apply([]extract.Sentence{s, s, s}, DefaultPatterns())
+	if len(cands) != 1 {
+		t.Errorf("dedup failed: %d candidates", len(cands))
+	}
+}
+
+func TestNormalizeMiddle(t *testing.T) {
+	cases := map[string]string{
+		" founded ":          "founded",
+		" was Founded by ":   "was founded by",
+		" founded  in 1976 ": "founded in <year>",
+		" acquired, ":        "acquired",
+	}
+	for in, want := range cases {
+		if got := normalizeMiddle(in); got != want {
+			t.Errorf("normalizeMiddle(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMatchesMiddle(t *testing.T) {
+	cases := []struct {
+		ctx, pat string
+		want     bool
+	}{
+		{"founded", "founded", true},
+		{"founded in <year>", "founded", true},
+		{"founded on january 5 1976", "founded", true},
+		{"founded the company known as", "founded", false},
+		{"was founded by", "founded", false},
+		{"acquired", "founded", false},
+	}
+	for _, c := range cases {
+		if got := matchesMiddle(c.ctx, c.pat); got != c.want {
+			t.Errorf("matchesMiddle(%q, %q) = %v", c.ctx, c.pat, got)
+		}
+	}
+}
+
+func TestMaxGapRespected(t *testing.T) {
+	long := strings.Repeat("waffle ", 15)
+	sents := []extract.Sentence{
+		sentence("Alice Foo founded "+long+"Acme Systems.", map[string]string{
+			"Alice Foo": "kb:Alice", "Acme Systems": "kb:Acme",
+		}),
+	}
+	if cands := Apply(sents, DefaultPatterns()); len(cands) != 0 {
+		t.Errorf("gap beyond maxGap should not match: %+v", cands)
+	}
+}
+
+func TestHarvestInfoboxes(t *testing.T) {
+	boxes := []Infobox{
+		{Subject: "kb:Alice", Fields: map[string]string{
+			"birth_place": "Springfield",
+			"unknown_key": "whatever",
+		}},
+	}
+	resolve := func(name string) (string, bool) {
+		if name == "Springfield" {
+			return "kb:Springfield", true
+		}
+		return "", false
+	}
+	cands := HarvestInfoboxes(boxes, synth.InfoboxRelation, resolve)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %+v", cands)
+	}
+	if cands[0].S != "kb:Alice" || cands[0].P != "kb:bornIn" || cands[0].O != "kb:Springfield" {
+		t.Errorf("candidate = %+v", cands[0])
+	}
+}
+
+// corpusSentences adapts the synthetic corpus for extractor tests.
+func corpusSentences(c *synth.Corpus) []extract.Sentence {
+	var docs []extract.Doc
+	for _, a := range c.Articles {
+		d := extract.Doc{Text: a.Text, Source: a.ID}
+		for _, m := range a.Mentions {
+			d.Mentions = append(d.Mentions, extract.Span{Start: m.Start, End: m.End, Entity: m.Entity})
+		}
+		docs = append(docs, d)
+	}
+	return extract.SplitDocs(docs)
+}
+
+func testWorld(seed int64) (*synth.World, []extract.Sentence) {
+	w := synth.Generate(synth.Config{
+		People: 80, Companies: 20, Cities: 10, Countries: 3,
+		Universities: 8, Products: 15, Prizes: 5,
+	}, seed)
+	corpus := synth.BuildCorpus(w, synth.DefaultCorpusOptions())
+	return w, corpusSentences(corpus)
+}
+
+func TestApplyOnSyntheticCorpus(t *testing.T) {
+	w, sents := testWorld(31)
+	cands := Apply(sents, DefaultPatterns())
+	if len(cands) < 50 {
+		t.Fatalf("only %d candidates from corpus", len(cands))
+	}
+	correct := 0
+	for _, c := range cands {
+		if w.HasFact(c.S, c.P, c.O) {
+			correct++
+		}
+	}
+	precision := float64(correct) / float64(len(cands))
+	if precision < 0.85 {
+		t.Errorf("pattern precision on corpus = %.3f (%d/%d)", precision, correct, len(cands))
+	}
+}
+
+func TestBootstrapLearnsKnownPatterns(t *testing.T) {
+	w, sents := testWorld(32)
+	// Seeds: first 5 founded facts.
+	var seeds []Pair
+	for _, f := range w.FactsOf(synth.RelFounded) {
+		seeds = append(seeds, Pair{f.S, f.O})
+		if len(seeds) == 5 {
+			break
+		}
+	}
+	res := Bootstrap(sents, synth.RelFounded, seeds, BootstrapConfig{
+		Iterations: 3, MinPatternSupport: 2, MinPatternConfidence: 0.02, MaxNewPatterns: 2,
+	})
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns learned")
+	}
+	middles := map[string]bool{}
+	for _, p := range res.Patterns {
+		middles[p.Middle] = true
+	}
+	found := false
+	for m := range middles {
+		if strings.Contains(m, "founded") || strings.Contains(m, "established") || strings.Contains(m, "started") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected founded-style patterns, got %v", middles)
+	}
+}
+
+func TestBootstrapPrecisionRecallTradeoff(t *testing.T) {
+	w, sents := testWorld(33)
+	gold := map[Pair]bool{}
+	for _, f := range w.FactsOf(synth.RelFounded) {
+		gold[Pair{f.S, f.O}] = true
+	}
+	var seeds []Pair
+	for p := range gold {
+		seeds = append(seeds, p)
+		if len(seeds) == 5 {
+			break
+		}
+	}
+	scoreAt := func(iters int) eval.PRF {
+		// Conservative dial: one new pattern per round, so round 1 is the
+		// single most reliable pattern and drift arrives only later.
+		res := Bootstrap(sents, synth.RelFounded, seeds, BootstrapConfig{
+			Iterations: iters, MinPatternSupport: 2, MinPatternConfidence: 0.02, MaxNewPatterns: 1,
+		})
+		pred := map[string]bool{}
+		goldSet := map[string]bool{}
+		for _, c := range res.Facts {
+			pred[c.S+"|"+c.O] = true
+		}
+		for p := range gold {
+			goldSet[p.S+"|"+p.O] = true
+		}
+		return eval.SetPRF(pred, goldSet)
+	}
+	first := scoreAt(1)
+	third := scoreAt(3)
+	// The DIPRE trade-off: the first round is precise; later rounds add
+	// recall and bleed precision (semantic drift).
+	if first.Precision < 0.8 {
+		t.Errorf("iteration-1 precision = %v", first)
+	}
+	if third.Recall < first.Recall {
+		t.Errorf("recall should not shrink: %v -> %v", first.Recall, third.Recall)
+	}
+	if third.Precision > first.Precision {
+		t.Errorf("precision should decay or hold: %v -> %v", first.Precision, third.Precision)
+	}
+	if third.TP < 5 {
+		t.Errorf("bootstrap recall too low: %v", third)
+	}
+	// Iterations recorded and seeds grow monotonically.
+	res := Bootstrap(sents, synth.RelFounded, seeds, BootstrapConfig{
+		Iterations: 3, MinPatternSupport: 2, MinPatternConfidence: 0.02, MaxNewPatterns: 2,
+	})
+	if len(res.Iterations) == 0 {
+		t.Fatal("no iteration stats")
+	}
+	for i := 1; i < len(res.Iterations); i++ {
+		if res.Iterations[i].SeedSize < res.Iterations[i-1].SeedSize {
+			t.Error("seed set shrank")
+		}
+	}
+}
+
+func TestBootstrapEmptySeeds(t *testing.T) {
+	_, sents := testWorld(34)
+	res := Bootstrap(sents, synth.RelFounded, nil, DefaultBootstrapConfig())
+	if len(res.Facts) != 0 || len(res.Patterns) != 0 {
+		t.Errorf("empty seeds should learn nothing: %+v", res)
+	}
+}
+
+func TestBootstrapStopsWhenDry(t *testing.T) {
+	// A tiny corpus where everything is found in round 1; rounds 2+
+	// should terminate early.
+	sents := []extract.Sentence{
+		sentence("A Foo founded B Corp.", map[string]string{"A Foo": "kb:A", "B Corp": "kb:B"}),
+		sentence("C Foo founded D Corp.", map[string]string{"C Foo": "kb:C", "D Corp": "kb:D"}),
+	}
+	res := Bootstrap(sents, "kb:founded", []Pair{{"kb:A", "kb:B"}, {"kb:C", "kb:D"}}, BootstrapConfig{
+		Iterations: 10, MinPatternSupport: 2, MinPatternConfidence: 0.5,
+	})
+	if len(res.Iterations) >= 10 {
+		t.Errorf("bootstrap did not stop early: %d iterations", len(res.Iterations))
+	}
+}

@@ -1,0 +1,316 @@
+package linkage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kbharvest/internal/eval"
+	"kbharvest/internal/synth"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"abc", "", 3}, {"", "abc", 3},
+		{"kitten", "sitting", 3}, {"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetricQuick(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	if JaroWinkler("martha", "marhta") < 0.9 {
+		t.Error("transposed names should score high")
+	}
+	if JaroWinkler("same", "same") != 1 {
+		t.Error("identical should be 1")
+	}
+	if JaroWinkler("abc", "xyz") != 0 {
+		t.Error("disjoint should be 0")
+	}
+	// Prefix boost: dixon/dicksonx classic value ~0.813.
+	got := JaroWinkler("dixon", "dicksonx")
+	if got < 0.76 || got > 0.86 {
+		t.Errorf("JaroWinkler(dixon,dicksonx) = %v", got)
+	}
+}
+
+func TestJaroWinklerRangeQuick(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		s := JaroWinkler(a, b)
+		return s >= 0 && s <= 1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenJaccard(t *testing.T) {
+	if TokenJaccard("Acme Systems Inc", "Acme Systems") <= 0.5 {
+		t.Error("shared tokens should score high")
+	}
+	if TokenJaccard("alpha", "beta") != 0 {
+		t.Error("disjoint tokens should be 0")
+	}
+	if TokenJaccard("", "") != 1 {
+		t.Error("empty strings should be 1")
+	}
+}
+
+func TestTrigramJaccard(t *testing.T) {
+	typo := TrigramJaccard("Springfield", "Sprngfield")
+	unrelated := TrigramJaccard("Springfield", "Shelbyville")
+	if typo <= unrelated {
+		t.Errorf("trigram: typo %v should beat unrelated %v", typo, unrelated)
+	}
+}
+
+func rec(id, name string, attrs map[string]string, neighbors ...string) Record {
+	return Record{ID: id, Name: name, Attrs: attrs, Neighbors: neighbors}
+}
+
+func TestBlockingCoversTruePairsAndPrunes(t *testing.T) {
+	a := []Record{
+		rec("a1", "Alice Foo", nil),
+		rec("a2", "Bob Bar", nil),
+		rec("a3", "Carol Moo", nil),
+	}
+	b := []Record{
+		rec("b1", "Alice Fou", nil),
+		rec("b2", "Bob Barr", nil),
+		rec("b3", "Zed Qux", nil),
+	}
+	pairs := Blocking(a, b)
+	if len(pairs) >= len(a)*len(b) {
+		t.Errorf("blocking did not prune: %d pairs", len(pairs))
+	}
+	// True pairs share a token, so they survive.
+	has := map[[2]int]bool{}
+	for _, p := range pairs {
+		has[[2]int{p.A, p.B}] = true
+	}
+	if !has[[2]int{0, 0}] || !has[[2]int{1, 1}] {
+		t.Errorf("blocking lost true pairs: %v", pairs)
+	}
+}
+
+func TestAllPairs(t *testing.T) {
+	a := []Record{rec("a", "x", nil), rec("b", "y", nil)}
+	b := []Record{rec("c", "z", nil)}
+	if got := AllPairs(a, b); len(got) != 2 {
+		t.Errorf("AllPairs = %v", got)
+	}
+}
+
+func TestRuleMatcher(t *testing.T) {
+	m := RuleMatcher{Threshold: 0.9}
+	if ok, _ := m.Match(rec("1", "Alice Foo", nil), rec("2", "Alice Foo", nil)); !ok {
+		t.Error("identical names should match")
+	}
+	if ok, _ := m.Match(rec("1", "Alice Foo", nil), rec("2", "Zed Qux", nil)); ok {
+		t.Error("unrelated names should not match")
+	}
+}
+
+func TestFeaturesShape(t *testing.T) {
+	f := Features(rec("1", "Alice", map[string]string{"year": "1950"}),
+		rec("2", "Alice", map[string]string{"year": "1950"}))
+	if len(f) != 8 {
+		t.Fatalf("features = %v", f)
+	}
+	if f[5] != 1 { // one agreeing attribute
+		t.Errorf("agree feature = %v", f[5])
+	}
+	if f[7] != 1 { // bias
+		t.Errorf("bias = %v", f[7])
+	}
+}
+
+// perturb introduces a typo deterministically.
+func perturb(name string, rng *rand.Rand) string {
+	if len(name) < 4 {
+		return name
+	}
+	i := 1 + rng.Intn(len(name)-2)
+	switch rng.Intn(3) {
+	case 0: // drop
+		return name[:i] + name[i+1:]
+	case 1: // swap
+		b := []byte(name)
+		b[i], b[i+1] = b[i+1], b[i]
+		return string(b)
+	default: // duplicate
+		return name[:i] + string(name[i]) + name[i:]
+	}
+}
+
+// buildEditions derives two overlapping record sets from a synthetic
+// world: edition B has perturbed names and partial attribute overlap.
+func buildEditions(seed int64) (a, b []Record, gold map[string]string) {
+	w := synth.Generate(synth.Config{
+		People: 80, Companies: 20, Cities: 10, Countries: 3,
+		Universities: 6, Products: 12, Prizes: 4,
+	}, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	gold = map[string]string{}
+	for i, p := range w.People {
+		attrs := map[string]string{}
+		for _, f := range w.FactsOf(synth.RelBornIn) {
+			if f.S == p.ID {
+				attrs["birthYear"] = fmt.Sprintf("%d", f.Date.Year)
+				attrs["birthPlace"] = f.O
+			}
+		}
+		aID := "a:" + p.ID
+		a = append(a, Record{ID: aID, Name: p.Name, Aliases: p.Aliases, Attrs: attrs})
+		// 85% of entities exist in edition B, with noisy names.
+		if i%7 != 0 {
+			bID := "b:" + p.ID
+			battrs := map[string]string{}
+			if rng.Float64() < 0.8 {
+				for k, v := range attrs {
+					battrs[k] = v
+				}
+			}
+			b = append(b, Record{ID: bID, Name: perturb(p.Name, rng), Aliases: p.Aliases, Attrs: battrs})
+			gold[aID] = bID
+		}
+	}
+	return a, b, gold
+}
+
+func scoreLinks(links []SameAsLink, gold map[string]string, goldSize int) eval.PRF {
+	tp, fp := 0, 0
+	for _, l := range links {
+		if gold[l.A] == l.B {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	return eval.Score(tp, fp, goldSize-tp)
+}
+
+func TestLearnedBeatsRuleOnNoisyEditions(t *testing.T) {
+	a, b, gold := buildEditions(81)
+	// Training data from a disjoint world.
+	ta, tb, tgold := buildEditions(82)
+	var examples []LabeledPair
+	tbByID := map[string]Record{}
+	for _, r := range tb {
+		tbByID[r.ID] = r
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, r := range ta {
+		if bid, ok := tgold[r.ID]; ok {
+			examples = append(examples, LabeledPair{A: r, B: tbByID[bid], Match: true})
+		}
+		// Random negatives.
+		neg := tb[rng.Intn(len(tb))]
+		if tgold[r.ID] != neg.ID {
+			examples = append(examples, LabeledPair{A: r, B: neg, Match: false})
+		}
+	}
+	model := TrainLogistic(examples, 20, 0.5, 7)
+
+	pairs := Blocking(a, b)
+	ruleLinks := Link(a, b, pairs, RuleMatcher{Threshold: 0.93})
+	learnedLinks := Link(a, b, pairs, model)
+	ruleScore := scoreLinks(ruleLinks, gold, len(gold))
+	learnedScore := scoreLinks(learnedLinks, gold, len(gold))
+	t.Logf("rule: %v", ruleScore)
+	t.Logf("learned: %v", learnedScore)
+	if learnedScore.F1 <= ruleScore.F1 {
+		t.Errorf("learned matcher (%.3f) should beat rule (%.3f)", learnedScore.F1, ruleScore.F1)
+	}
+	if learnedScore.F1 < 0.8 {
+		t.Errorf("learned F1 = %.3f", learnedScore.F1)
+	}
+}
+
+func TestBlockingPreservesQuality(t *testing.T) {
+	a, b, gold := buildEditions(83)
+	m := RuleMatcher{Threshold: 0.90}
+	full := Link(a, b, AllPairs(a, b), m)
+	blocked := Link(a, b, Blocking(a, b), m)
+	fullScore := scoreLinks(full, gold, len(gold))
+	blockedScore := scoreLinks(blocked, gold, len(gold))
+	if blockedScore.F1 < fullScore.F1-0.05 {
+		t.Errorf("blocking lost quality: %.3f vs %.3f", blockedScore.F1, fullScore.F1)
+	}
+	// And it must actually prune.
+	if len(Blocking(a, b)) >= len(a)*len(b)/2 {
+		t.Error("blocking pruned too little")
+	}
+}
+
+func TestLinkOneToOne(t *testing.T) {
+	a := []Record{rec("a1", "Alice Foo", nil), rec("a2", "Alice Foo", nil)}
+	b := []Record{rec("b1", "Alice Foo", nil)}
+	links := Link(a, b, AllPairs(a, b), RuleMatcher{Threshold: 0.9})
+	if len(links) != 1 {
+		t.Errorf("one-to-one violated: %v", links)
+	}
+}
+
+func TestPropagateSimilarity(t *testing.T) {
+	// Two ambiguous name pairs; neighbors disambiguate.
+	a := []Record{
+		rec("a1", "Smith", nil, "a2"),
+		rec("a2", "Acme", nil, "a1"),
+		rec("a3", "Smith", nil, "a4"),
+		rec("a4", "Globex", nil, "a3"),
+	}
+	b := []Record{
+		rec("b1", "Smith", nil, "b2"),
+		rec("b2", "Acme", nil, "b1"),
+		rec("b3", "Smith", nil, "b4"),
+		rec("b4", "Globex", nil, "b3"),
+	}
+	base := map[[2]int]float64{}
+	for i := range a {
+		for j := range b {
+			base[[2]int{i, j}] = JaroWinkler(a[i].Name, b[j].Name)
+		}
+	}
+	out := PropagateSimilarity(a, b, base, 0.4, 3)
+	// a1 (Smith near Acme) should now prefer b1 over b3.
+	if out[[2]int{0, 0}] <= out[[2]int{0, 2}] {
+		t.Errorf("propagation failed: %v vs %v", out[[2]int{0, 0}], out[[2]int{0, 2}])
+	}
+}
+
+func TestTrainLogisticEmpty(t *testing.T) {
+	m := TrainLogistic(nil, 5, 0.1, 1)
+	if m == nil || len(m.Weights) == 0 {
+		t.Error("empty training should still return a usable model")
+	}
+}

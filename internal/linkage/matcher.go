@@ -1,0 +1,287 @@
+package linkage
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Record is one entity record to link: an identifier, its name(s), and
+// flat attribute values (birth year, city, type, ...).
+type Record struct {
+	ID      string
+	Name    string
+	Aliases []string
+	Attrs   map[string]string
+	// Neighbors lists related record IDs within the same source
+	// (used by similarity propagation).
+	Neighbors []string
+}
+
+// CandidatePair is one record pair under consideration.
+type CandidatePair struct {
+	A, B  int // indexes into the two record slices
+	Score float64
+}
+
+// Blocking avoids the quadratic cross-product: records sharing a blocking
+// key (any name token, lowercased) become candidate pairs — the standard
+// token-blocking scheme. Returns candidate index pairs, deduplicated.
+func Blocking(a, b []Record) []CandidatePair {
+	index := map[string][]int{}
+	for j, r := range b {
+		for tok := range recordTokens(r) {
+			index[tok] = append(index[tok], j)
+		}
+	}
+	seen := map[[2]int]bool{}
+	var out []CandidatePair
+	for i, r := range a {
+		for tok := range recordTokens(r) {
+			for _, j := range index[tok] {
+				k := [2]int{i, j}
+				if !seen[k] {
+					seen[k] = true
+					out = append(out, CandidatePair{A: i, B: j})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// AllPairs is the no-blocking baseline (quadratic).
+func AllPairs(a, b []Record) []CandidatePair {
+	out := make([]CandidatePair, 0, len(a)*len(b))
+	for i := range a {
+		for j := range b {
+			out = append(out, CandidatePair{A: i, B: j})
+		}
+	}
+	return out
+}
+
+func recordTokens(r Record) map[string]bool {
+	toks := tokenSet(r.Name)
+	for _, al := range r.Aliases {
+		for t := range tokenSet(al) {
+			toks[t] = true
+		}
+	}
+	return toks
+}
+
+// Features renders a record pair as the numeric feature vector the
+// learned matcher consumes.
+func Features(a, b Record) []float64 {
+	nameJW := JaroWinkler(strings.ToLower(a.Name), strings.ToLower(b.Name))
+	nameLev := LevenshteinSim(strings.ToLower(a.Name), strings.ToLower(b.Name))
+	nameTok := TokenJaccard(a.Name, b.Name)
+	nameTri := TrigramJaccard(a.Name, b.Name)
+	// Best alias agreement.
+	bestAlias := 0.0
+	for _, aa := range append([]string{a.Name}, a.Aliases...) {
+		for _, bb := range append([]string{b.Name}, b.Aliases...) {
+			if s := JaroWinkler(strings.ToLower(aa), strings.ToLower(bb)); s > bestAlias {
+				bestAlias = s
+			}
+		}
+	}
+	// Attribute agreement over shared keys.
+	agree, disagree := 0.0, 0.0
+	for k, va := range a.Attrs {
+		vb, ok := b.Attrs[k]
+		if !ok {
+			continue
+		}
+		if strings.EqualFold(va, vb) {
+			agree++
+		} else {
+			disagree++
+		}
+	}
+	return []float64{nameJW, nameLev, nameTok, nameTri, bestAlias, agree, disagree, 1 /* bias */}
+}
+
+// RuleMatcher is the baseline: match when Jaro-Winkler name similarity
+// crosses a threshold.
+type RuleMatcher struct{ Threshold float64 }
+
+// Match scores a pair (the JW similarity) and decides.
+func (m RuleMatcher) Match(a, b Record) (bool, float64) {
+	s := JaroWinkler(strings.ToLower(a.Name), strings.ToLower(b.Name))
+	return s >= m.Threshold, s
+}
+
+// LogisticMatcher is the learned matcher: logistic regression over
+// Features, trained with gradient descent.
+type LogisticMatcher struct {
+	Weights   []float64
+	Threshold float64
+}
+
+// LabeledPair is one training example.
+type LabeledPair struct {
+	A, B  Record
+	Match bool
+}
+
+// TrainLogistic fits the matcher. Deterministic given the seed.
+func TrainLogistic(examples []LabeledPair, epochs int, lr float64, seed int64) *LogisticMatcher {
+	if len(examples) == 0 {
+		return &LogisticMatcher{Weights: make([]float64, 8), Threshold: 0.5}
+	}
+	dim := len(Features(examples[0].A, examples[0].B))
+	w := make([]float64, dim)
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(len(examples))
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			ex := examples[idx]
+			x := Features(ex.A, ex.B)
+			p := sigmoid(dot(w, x))
+			y := 0.0
+			if ex.Match {
+				y = 1
+			}
+			g := p - y
+			for d := range w {
+				w[d] -= lr * g * x[d]
+			}
+		}
+	}
+	return &LogisticMatcher{Weights: w, Threshold: 0.5}
+}
+
+// Match applies the trained model.
+func (m *LogisticMatcher) Match(a, b Record) (bool, float64) {
+	p := sigmoid(dot(m.Weights, Features(a, b)))
+	return p >= m.Threshold, p
+}
+
+// Matcher is the common interface of rule-based and learned matchers.
+type Matcher interface {
+	Match(a, b Record) (bool, float64)
+}
+
+// SameAsLink is one emitted owl:sameAs assertion.
+type SameAsLink struct {
+	A, B  string
+	Score float64
+}
+
+// Link runs a matcher over candidate pairs and resolves conflicts
+// one-to-one greedily by descending score (each record links at most
+// once) — the shape of sameAs generation between two KB editions.
+func Link(a, b []Record, pairs []CandidatePair, m Matcher) []SameAsLink {
+	type scored struct {
+		i, j  int
+		score float64
+	}
+	var hits []scored
+	for _, p := range pairs {
+		if ok, s := m.Match(a[p.A], b[p.B]); ok {
+			hits = append(hits, scored{p.A, p.B, s})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].score != hits[j].score {
+			return hits[i].score > hits[j].score
+		}
+		if hits[i].i != hits[j].i {
+			return hits[i].i < hits[j].i
+		}
+		return hits[i].j < hits[j].j
+	})
+	usedA := map[int]bool{}
+	usedB := map[int]bool{}
+	var out []SameAsLink
+	for _, h := range hits {
+		if usedA[h.i] || usedB[h.j] {
+			continue
+		}
+		usedA[h.i], usedB[h.j] = true, true
+		out = append(out, SameAsLink{A: a[h.i].ID, B: b[h.j].ID, Score: h.score})
+	}
+	return out
+}
+
+// PropagateSimilarity refines pair scores with one round of neighborhood
+// reinforcement (similarity-flooding lite): a pair's score rises with the
+// average best score of its neighbor pairs. Returns the updated scores
+// keyed by (A index, B index).
+func PropagateSimilarity(a, b []Record, base map[[2]int]float64, alpha float64, rounds int) map[[2]int]float64 {
+	idxA := map[string]int{}
+	for i, r := range a {
+		idxA[r.ID] = i
+	}
+	idxB := map[string]int{}
+	for j, r := range b {
+		idxB[r.ID] = j
+	}
+	cur := make(map[[2]int]float64, len(base))
+	for k, v := range base {
+		cur[k] = v
+	}
+	for round := 0; round < rounds; round++ {
+		next := make(map[[2]int]float64, len(cur))
+		for k, v := range cur {
+			i, j := k[0], k[1]
+			// Average of best matching neighbor pair scores.
+			sum, cnt := 0.0, 0
+			for _, na := range a[i].Neighbors {
+				ni, ok := idxA[na]
+				if !ok {
+					continue
+				}
+				best := 0.0
+				for _, nb := range b[j].Neighbors {
+					nj, ok := idxB[nb]
+					if !ok {
+						continue
+					}
+					if s := cur[[2]int{ni, nj}]; s > best {
+						best = s
+					}
+				}
+				sum += best
+				cnt++
+			}
+			boost := 0.0
+			if cnt > 0 {
+				boost = sum / float64(cnt)
+			}
+			nv := (1-alpha)*v + alpha*boost
+			if nv > 1 {
+				nv = 1
+			}
+			next[k] = nv
+		}
+		cur = next
+	}
+	return cur
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+func dot(w, x []float64) float64 {
+	s := 0.0
+	for i := range w {
+		s += w[i] * x[i]
+	}
+	return s
+}

@@ -1,0 +1,203 @@
+// Package linkage implements entity linkage (§4): deciding whether two
+// entity records from different knowledge resources denote the same
+// real-world entity, and emitting owl:sameAs links at scale. It covers the
+// tutorial's method spectrum: string similarity measures, blocking to
+// avoid the quadratic cross-product, a learned (logistic regression)
+// match classifier, and a graph algorithm that propagates similarity
+// along relations.
+package linkage
+
+import (
+	"strings"
+)
+
+// Levenshtein returns the edit distance between two strings.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1
+			if cur[j-1]+1 < m {
+				m = cur[j-1] + 1
+			}
+			if prev[j-1]+cost < m {
+				m = prev[j-1] + cost
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// LevenshteinSim normalizes edit distance to a [0,1] similarity.
+func LevenshteinSim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	m := len([]rune(a))
+	if n := len([]rune(b)); n > m {
+		m = n
+	}
+	if m == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+// JaroWinkler computes the Jaro-Winkler similarity — the classic measure
+// for name matching, boosting shared prefixes.
+func JaroWinkler(a, b string) float64 {
+	j := jaro(a, b)
+	if j == 0 {
+		return 0
+	}
+	// Common prefix up to 4 chars.
+	prefix := 0
+	for i := 0; i < len(a) && i < len(b) && i < 4; i++ {
+		if a[i] != b[i] {
+			break
+		}
+		prefix++
+	}
+	const p = 0.1
+	return j + float64(prefix)*p*(1-j)
+}
+
+func jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if matchB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchA[i] = true
+			matchB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Transpositions.
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// TokenJaccard compares the lowercase token sets of two strings.
+func TokenJaccard(a, b string) float64 {
+	sa := tokenSet(a)
+	sb := tokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter, union := 0, len(sb)
+	for t := range sa {
+		if sb[t] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func tokenSet(s string) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range strings.Fields(strings.ToLower(s)) {
+		out[strings.Trim(f, ",.;:!?'\"")] = true
+	}
+	delete(out, "")
+	return out
+}
+
+// TrigramJaccard compares character trigram sets — robust against
+// in-word typos.
+func TrigramJaccard(a, b string) float64 {
+	ta := trigrams(strings.ToLower(a))
+	tb := trigrams(strings.ToLower(b))
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	inter, union := 0, len(tb)
+	for g := range ta {
+		if tb[g] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func trigrams(s string) map[string]bool {
+	out := map[string]bool{}
+	rs := []rune("  " + s + "  ")
+	for i := 0; i+3 <= len(rs); i++ {
+		out[string(rs[i:i+3])] = true
+	}
+	return out
+}

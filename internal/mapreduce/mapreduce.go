@@ -1,0 +1,209 @@
+// Package mapreduce is an in-process map-reduce engine. The tutorial
+// highlights "big-data techniques like frequent sequence mining and
+// map-reduce computation" as the scalability substrate of open information
+// extraction (§3); this package supplies the programming model — mappers,
+// hash-partitioned shuffle, optional combiners, reducers — with a bounded
+// worker pool, so extraction jobs can demonstrate near-linear scaling with
+// worker count (experiment E8).
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// KV is one intermediate key-value pair.
+type KV struct {
+	Key   string
+	Value interface{}
+}
+
+// MapFunc consumes one input record and emits intermediate pairs.
+type MapFunc func(record interface{}, emit func(key string, value interface{})) error
+
+// ReduceFunc folds all values of one key into zero or more outputs.
+type ReduceFunc func(key string, values []interface{}, emit func(value interface{})) error
+
+// Config tunes a job.
+type Config struct {
+	// Workers is the mapper/reducer parallelism. Defaults to GOMAXPROCS.
+	Workers int
+	// Partitions is the number of shuffle partitions. Defaults to
+	// Workers.
+	Partitions int
+	// Combiner, if set, pre-reduces mapper-local outputs per key before
+	// the shuffle, cutting shuffle volume (the classic word-count
+	// optimization).
+	Combiner ReduceFunc
+}
+
+// Job is one configured map-reduce computation.
+type Job struct {
+	mapFn    MapFunc
+	reduceFn ReduceFunc
+	cfg      Config
+}
+
+// NewJob builds a job from a mapper and reducer.
+func NewJob(m MapFunc, r ReduceFunc, cfg Config) *Job {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = cfg.Workers
+	}
+	return &Job{mapFn: m, reduceFn: r, cfg: cfg}
+}
+
+// Run executes the job over the input records and returns the reducer
+// outputs grouped by key, sorted by key for determinism.
+func (j *Job) Run(inputs []interface{}) ([]KV, error) {
+	parts, err := j.mapPhase(inputs)
+	if err != nil {
+		return nil, err
+	}
+	return j.reducePhase(parts)
+}
+
+// mapPhase fans inputs over workers; each worker keeps per-partition
+// buffers to avoid lock contention, merged at the end.
+func (j *Job) mapPhase(inputs []interface{}) ([]map[string][]interface{}, error) {
+	nw := j.cfg.Workers
+	type workerState struct {
+		parts []map[string][]interface{}
+		err   error
+	}
+	states := make([]workerState, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		states[w].parts = make([]map[string][]interface{}, j.cfg.Partitions)
+		for p := range states[w].parts {
+			states[w].parts[p] = make(map[string][]interface{})
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &states[w]
+			emit := func(key string, value interface{}) {
+				p := partitionOf(key, j.cfg.Partitions)
+				st.parts[p][key] = append(st.parts[p][key], value)
+			}
+			for i := w; i < len(inputs); i += nw {
+				if err := j.mapFn(inputs[i], emit); err != nil {
+					st.err = fmt.Errorf("mapreduce: map record %d: %w", i, err)
+					return
+				}
+			}
+			if j.cfg.Combiner != nil {
+				for p := range st.parts {
+					combined, err := combine(j.cfg.Combiner, st.parts[p])
+					if err != nil {
+						st.err = err
+						return
+					}
+					st.parts[p] = combined
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := range states {
+		if states[w].err != nil {
+			return nil, states[w].err
+		}
+	}
+	// Merge worker-local partitions into global partitions.
+	global := make([]map[string][]interface{}, j.cfg.Partitions)
+	for p := range global {
+		global[p] = make(map[string][]interface{})
+		for w := 0; w < nw; w++ {
+			for k, vs := range states[w].parts[p] {
+				global[p][k] = append(global[p][k], vs...)
+			}
+		}
+	}
+	return global, nil
+}
+
+func combine(c ReduceFunc, part map[string][]interface{}) (map[string][]interface{}, error) {
+	out := make(map[string][]interface{}, len(part))
+	for k, vs := range part {
+		var combined []interface{}
+		if err := c(k, vs, func(v interface{}) { combined = append(combined, v) }); err != nil {
+			return nil, fmt.Errorf("mapreduce: combine key %q: %w", k, err)
+		}
+		out[k] = combined
+	}
+	return out, nil
+}
+
+func (j *Job) reducePhase(parts []map[string][]interface{}) ([]KV, error) {
+	nw := j.cfg.Workers
+	results := make([][]KV, len(parts))
+	errs := make([]error, len(parts))
+	sem := make(chan struct{}, nw)
+	var wg sync.WaitGroup
+	for p := range parts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			keys := make([]string, 0, len(parts[p]))
+			for k := range parts[p] {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				err := j.reduceFn(k, parts[p][k], func(v interface{}) {
+					results[p] = append(results[p], KV{Key: k, Value: v})
+				})
+				if err != nil {
+					errs[p] = fmt.Errorf("mapreduce: reduce key %q: %w", k, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []KV
+	for p := range results {
+		out = append(out, results[p]...)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Key < out[k].Key })
+	return out, nil
+}
+
+func partitionOf(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Run is the convenience one-shot entry point.
+func Run(inputs []interface{}, m MapFunc, r ReduceFunc, cfg Config) ([]KV, error) {
+	return NewJob(m, r, cfg).Run(inputs)
+}
+
+// CountReducer sums integer values — the standard counting reducer, usable
+// as both reducer and combiner.
+func CountReducer(key string, values []interface{}, emit func(interface{})) error {
+	total := 0
+	for _, v := range values {
+		n, ok := v.(int)
+		if !ok {
+			return fmt.Errorf("CountReducer: value for %q is %T, not int", key, v)
+		}
+		total += n
+	}
+	emit(total)
+	return nil
+}

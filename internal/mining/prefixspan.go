@@ -1,0 +1,245 @@
+// Package mining implements frequent-pattern mining: PrefixSpan
+// frequent-sequence mining and Apriori frequent itemsets. The tutorial
+// names "frequent sequence mining" as one of the big-data techniques open
+// information extraction borrows (§3): mining frequent word sequences
+// between entity pairs surfaces the prototypic relation phrases that open
+// IE promotes to patterns (experiment E9).
+package mining
+
+import (
+	"sort"
+	"strings"
+)
+
+// Sequence is one input sequence of items (for us: tokens).
+type Sequence []string
+
+// Pattern is a frequent subsequence with its support count.
+type Pattern struct {
+	Items   []string
+	Support int
+}
+
+// String renders the pattern items space-joined.
+func (p Pattern) String() string { return strings.Join(p.Items, " ") }
+
+// PrefixSpan mines all sequential patterns with support >= minSupport and
+// length <= maxLen from db. Supports are sequence counts (each sequence
+// counts once however often the pattern occurs inside it).
+//
+// The implementation is the standard projected-database recursion: for each
+// frequent item, project the database to the suffixes after its first
+// occurrence and recurse.
+func PrefixSpan(db []Sequence, minSupport, maxLen int) []Pattern {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	// A projection is a list of (sequence index, start offset).
+	type proj struct{ seq, off int }
+	initial := make([]proj, len(db))
+	for i := range db {
+		initial[i] = proj{i, 0}
+	}
+	var out []Pattern
+	var recurse func(prefix []string, projs []proj)
+	recurse = func(prefix []string, projs []proj) {
+		if len(prefix) >= maxLen {
+			return
+		}
+		// Count item supports in the projected database (once per
+		// sequence).
+		support := make(map[string]int)
+		seenInSeq := make(map[string]int) // item -> last seq counted +1
+		for _, pr := range projs {
+			seq := db[pr.seq]
+			for _, item := range seq[pr.off:] {
+				if seenInSeq[item] != pr.seq+1 {
+					seenInSeq[item] = pr.seq + 1
+					support[item]++
+				}
+			}
+		}
+		items := make([]string, 0, len(support))
+		for item, s := range support {
+			if s >= minSupport {
+				items = append(items, item)
+			}
+		}
+		sort.Strings(items)
+		for _, item := range items {
+			newPrefix := append(append([]string(nil), prefix...), item)
+			out = append(out, Pattern{Items: newPrefix, Support: support[item]})
+			// Project: for each sequence, suffix after first occurrence
+			// of item at/after off.
+			var next []proj
+			for _, pr := range projs {
+				seq := db[pr.seq]
+				for k := pr.off; k < len(seq); k++ {
+					if seq[k] == item {
+						next = append(next, proj{pr.seq, k + 1})
+						break
+					}
+				}
+			}
+			recurse(newPrefix, next)
+		}
+	}
+	recurse(nil, initial)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out
+}
+
+// ContiguousPatterns mines frequent contiguous subsequences (n-grams) of
+// length [minLen, maxLen] with support >= minSupport — the variant used to
+// find relation phrases, where gaps would break the phrase.
+func ContiguousPatterns(db []Sequence, minSupport, minLen, maxLen int) []Pattern {
+	counts := make(map[string]int)
+	for _, seq := range db {
+		seen := make(map[string]bool) // count once per sequence
+		for n := minLen; n <= maxLen; n++ {
+			for i := 0; i+n <= len(seq); i++ {
+				key := strings.Join(seq[i:i+n], "\x00")
+				if !seen[key] {
+					seen[key] = true
+					counts[key]++
+				}
+			}
+		}
+	}
+	var out []Pattern
+	for key, c := range counts {
+		if c >= minSupport {
+			out = append(out, Pattern{Items: strings.Split(key, "\x00"), Support: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out
+}
+
+// Itemset is a frequent itemset with its support.
+type Itemset struct {
+	Items   []string // sorted
+	Support int
+}
+
+// FrequentItemsets mines itemsets with support >= minSupport and size <=
+// maxSize using Apriori level-wise search. Transactions are deduplicated
+// item sets.
+func FrequentItemsets(transactions [][]string, minSupport, maxSize int) []Itemset {
+	// Level 1.
+	counts := make(map[string]int)
+	txs := make([][]string, len(transactions))
+	for i, t := range transactions {
+		set := uniqueSorted(t)
+		txs[i] = set
+		for _, item := range set {
+			counts[item]++
+		}
+	}
+	var frontier [][]string
+	var out []Itemset
+	for item, c := range counts {
+		if c >= minSupport {
+			frontier = append(frontier, []string{item})
+			out = append(out, Itemset{Items: []string{item}, Support: c})
+		}
+	}
+	sortKey := func(is []string) string { return strings.Join(is, "\x00") }
+	sort.Slice(frontier, func(i, j int) bool { return sortKey(frontier[i]) < sortKey(frontier[j]) })
+
+	for size := 2; size <= maxSize && len(frontier) > 0; size++ {
+		// Candidate generation: join frontier sets sharing a prefix.
+		cands := make(map[string][]string)
+		for i := 0; i < len(frontier); i++ {
+			for j := i + 1; j < len(frontier); j++ {
+				a, b := frontier[i], frontier[j]
+				if !samePrefix(a, b) {
+					continue
+				}
+				cand := append(append([]string(nil), a...), b[len(b)-1])
+				sort.Strings(cand)
+				cands[sortKey(cand)] = cand
+			}
+		}
+		// Count supports.
+		counts := make(map[string]int)
+		for _, tx := range txs {
+			for key, cand := range cands {
+				if containsAll(tx, cand) {
+					counts[key]++
+				}
+			}
+		}
+		frontier = frontier[:0]
+		var keys []string
+		for key := range counts {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			if counts[key] >= minSupport {
+				items := cands[key]
+				frontier = append(frontier, items)
+				out = append(out, Itemset{Items: items, Support: counts[key]})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return sortKey(out[i].Items) < sortKey(out[j].Items)
+	})
+	return out
+}
+
+func samePrefix(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return a[len(a)-1] != b[len(b)-1]
+}
+
+// containsAll reports whether sorted slice tx contains every item of
+// sorted slice items.
+func containsAll(tx, items []string) bool {
+	i := 0
+	for _, item := range items {
+		for i < len(tx) && tx[i] < item {
+			i++
+		}
+		if i >= len(tx) || tx[i] != item {
+			return false
+		}
+	}
+	return true
+}
+
+func uniqueSorted(items []string) []string {
+	cp := append([]string(nil), items...)
+	sort.Strings(cp)
+	out := cp[:0]
+	for i, it := range cp {
+		if i == 0 || cp[i-1] != it {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func sortKey(is []string) string { return strings.Join(is, "\x00") }

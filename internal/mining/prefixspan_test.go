@@ -1,0 +1,195 @@
+package mining
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPrefixSpanSimple(t *testing.T) {
+	db := []Sequence{
+		{"a", "b", "c"},
+		{"a", "b"},
+		{"a", "c"},
+		{"b", "c"},
+	}
+	pats := PrefixSpan(db, 2, 3)
+	support := map[string]int{}
+	for _, p := range pats {
+		support[p.String()] = p.Support
+	}
+	want := map[string]int{
+		"a": 3, "b": 3, "c": 3,
+		"a b": 2, "a c": 2, "b c": 2,
+	}
+	if !reflect.DeepEqual(support, want) {
+		t.Errorf("patterns = %v, want %v", support, want)
+	}
+}
+
+func TestPrefixSpanGaps(t *testing.T) {
+	// "a ... c" with a gap must still count.
+	db := []Sequence{
+		{"a", "x", "c"},
+		{"a", "y", "c"},
+	}
+	pats := PrefixSpan(db, 2, 2)
+	found := false
+	for _, p := range pats {
+		if p.String() == "a c" && p.Support == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("gapped pattern missing: %v", pats)
+	}
+}
+
+func TestPrefixSpanCountsOncePerSequence(t *testing.T) {
+	db := []Sequence{{"a", "a", "a"}}
+	pats := PrefixSpan(db, 1, 1)
+	for _, p := range pats {
+		if p.String() == "a" && p.Support != 1 {
+			t.Errorf("support = %d, want 1", p.Support)
+		}
+	}
+}
+
+func TestPrefixSpanMaxLen(t *testing.T) {
+	db := []Sequence{{"a", "b", "c", "d"}, {"a", "b", "c", "d"}}
+	pats := PrefixSpan(db, 2, 2)
+	for _, p := range pats {
+		if len(p.Items) > 2 {
+			t.Errorf("pattern longer than maxLen: %v", p)
+		}
+	}
+}
+
+func TestPrefixSpanSortedBySupport(t *testing.T) {
+	db := []Sequence{
+		{"a", "b"}, {"a", "b"}, {"a"}, {"c"},
+	}
+	pats := PrefixSpan(db, 1, 2)
+	for i := 1; i < len(pats); i++ {
+		if pats[i-1].Support < pats[i].Support {
+			t.Fatalf("not sorted by support: %v", pats)
+		}
+	}
+}
+
+// Property: every reported pattern really is a subsequence of at least
+// `support` distinct sequences.
+func TestPrefixSpanSupportsAreCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vocab := []string{"a", "b", "c", "d", "e"}
+	for trial := 0; trial < 20; trial++ {
+		db := make([]Sequence, 12)
+		for i := range db {
+			n := 1 + rng.Intn(6)
+			s := make(Sequence, n)
+			for j := range s {
+				s[j] = vocab[rng.Intn(len(vocab))]
+			}
+			db[i] = s
+		}
+		for _, p := range PrefixSpan(db, 2, 3) {
+			count := 0
+			for _, seq := range db {
+				if isSubsequence(p.Items, seq) {
+					count++
+				}
+			}
+			if count != p.Support {
+				t.Fatalf("trial %d: pattern %v support %d, brute force %d", trial, p.Items, p.Support, count)
+			}
+		}
+	}
+}
+
+func isSubsequence(pat []string, seq Sequence) bool {
+	i := 0
+	for _, item := range seq {
+		if i < len(pat) && pat[i] == item {
+			i++
+		}
+	}
+	return i == len(pat)
+}
+
+func TestContiguousPatterns(t *testing.T) {
+	db := []Sequence{
+		{"was", "founded", "by"},
+		{"was", "founded", "by"},
+		{"was", "acquired", "by"},
+	}
+	pats := ContiguousPatterns(db, 2, 2, 3)
+	support := map[string]int{}
+	for _, p := range pats {
+		support[p.String()] = p.Support
+	}
+	if support["was founded by"] != 2 {
+		t.Errorf("'was founded by' support = %d", support["was founded by"])
+	}
+	if _, ok := support["was by"]; ok {
+		t.Error("gapped pattern should not appear in contiguous mining")
+	}
+}
+
+func TestContiguousMinLen(t *testing.T) {
+	db := []Sequence{{"a", "b"}, {"a", "b"}}
+	pats := ContiguousPatterns(db, 2, 2, 2)
+	for _, p := range pats {
+		if len(p.Items) < 2 {
+			t.Errorf("pattern shorter than minLen: %v", p)
+		}
+	}
+}
+
+func TestFrequentItemsets(t *testing.T) {
+	txs := [][]string{
+		{"milk", "bread", "butter"},
+		{"milk", "bread"},
+		{"milk", "eggs"},
+		{"bread", "butter"},
+	}
+	sets := FrequentItemsets(txs, 2, 3)
+	support := map[string]int{}
+	for _, s := range sets {
+		support[strings.Join(s.Items, ",")] = s.Support
+	}
+	if support["milk"] != 3 || support["bread"] != 3 {
+		t.Errorf("singleton supports wrong: %v", support)
+	}
+	if support["bread,milk"] != 2 {
+		t.Errorf("pair support wrong: %v", support)
+	}
+	if support["bread,butter"] != 2 {
+		t.Errorf("pair support wrong: %v", support)
+	}
+	if _, ok := support["eggs"]; ok {
+		t.Error("below-threshold item leaked")
+	}
+}
+
+func TestFrequentItemsetsDedupWithinTransaction(t *testing.T) {
+	txs := [][]string{{"a", "a", "b"}, {"a", "b"}}
+	sets := FrequentItemsets(txs, 2, 2)
+	for _, s := range sets {
+		if strings.Join(s.Items, ",") == "a" && s.Support != 2 {
+			t.Errorf("duplicate items in one transaction should count once: %+v", s)
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if got := PrefixSpan(nil, 1, 3); len(got) != 0 {
+		t.Errorf("PrefixSpan(nil) = %v", got)
+	}
+	if got := ContiguousPatterns(nil, 1, 1, 3); len(got) != 0 {
+		t.Errorf("ContiguousPatterns(nil) = %v", got)
+	}
+	if got := FrequentItemsets(nil, 1, 3); len(got) != 0 {
+		t.Errorf("FrequentItemsets(nil) = %v", got)
+	}
+}

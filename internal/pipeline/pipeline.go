@@ -1,0 +1,399 @@
+// Package pipeline assembles the full knowledge-base construction system
+// of the tutorial (§2 + §3): synthetic world and corpus in, curated KB
+// out. Stages: taxonomy harvesting from categories, fact extraction
+// (infoboxes + surface patterns, optionally distributed over the
+// map-reduce engine), logical consistency reasoning, temporal scoping,
+// multilingual labels, and the NED models for downstream analytics (§4).
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"kbharvest/internal/core"
+	"kbharvest/internal/extract"
+	"kbharvest/internal/extract/patterns"
+	"kbharvest/internal/mapreduce"
+	"kbharvest/internal/ned"
+	"kbharvest/internal/rdf"
+	"kbharvest/internal/reason"
+	"kbharvest/internal/synth"
+	"kbharvest/internal/taxonomy"
+	"kbharvest/internal/temporal"
+)
+
+// Options configure a pipeline run.
+type Options struct {
+	// World sizes the synthetic world; zero value means DefaultConfig.
+	World synth.Config
+	// Seed drives world, corpus, and every randomized stage.
+	Seed int64
+	// Corpus tunes the article renderer; zero value means defaults.
+	Corpus synth.CorpusOptions
+	// Workers is the extraction parallelism (map-reduce). Default 1.
+	Workers int
+	// Reason toggles the consistency-reasoning stage.
+	Reason bool
+	// Infoboxes toggles infobox harvesting.
+	Infoboxes bool
+	// Temporal toggles fact time-scoping.
+	Temporal bool
+}
+
+// DefaultOptions enables every stage at default scale.
+func DefaultOptions() Options {
+	return Options{
+		World:     synth.DefaultConfig(),
+		Seed:      42,
+		Corpus:    synth.DefaultCorpusOptions(),
+		Workers:   1,
+		Reason:    true,
+		Infoboxes: true,
+		Temporal:  true,
+	}
+}
+
+// StageTiming records one stage's wall-clock cost.
+type StageTiming struct {
+	Stage    string
+	Duration time.Duration
+}
+
+// Result is the pipeline output.
+type Result struct {
+	KB     *core.Store
+	World  *synth.World
+	Corpus *synth.Corpus
+
+	// Candidates counts raw extractions before reasoning; Accepted after.
+	Candidates int
+	Accepted   int
+	Timings    []StageTiming
+
+	// NED models built from the corpus for §4-style analytics.
+	Dictionary  *ned.Dictionary
+	ContextMod  *ned.ContextModel
+	Relatedness *ned.Relatedness
+}
+
+// Run executes the pipeline.
+func Run(opt Options) (*Result, error) {
+	if opt.World.People == 0 {
+		opt.World = synth.DefaultConfig()
+	}
+	if opt.Workers < 1 {
+		opt.Workers = 1
+	}
+	res := &Result{KB: core.NewStore()}
+	stage := func(name string, fn func() error) error {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return fmt.Errorf("pipeline: %s: %w", name, err)
+		}
+		res.Timings = append(res.Timings, StageTiming{Stage: name, Duration: time.Since(t0)})
+		return nil
+	}
+
+	if err := stage("generate", func() error {
+		res.World = synth.Generate(opt.World, opt.Seed)
+		res.Corpus = synth.BuildCorpus(res.World, opt.Corpus)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := stage("taxonomy", func() error {
+		harvestTaxonomy(res)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	var cands []extract.Candidate
+	if err := stage("extract", func() error {
+		var err error
+		cands, err = runExtraction(res, opt)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	res.Candidates = len(cands)
+
+	accepted := cands
+	if opt.Reason {
+		if err := stage("reason", func() error {
+			accepted = runReasoning(res, cands)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	res.Accepted = len(accepted)
+
+	if err := stage("assert", func() error {
+		assertFacts(res, accepted, opt)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := stage("labels", func() error {
+		assertLabels(res)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := stage("nedmodels", func() error {
+		buildNEDModels(res)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// harvestTaxonomy runs category analysis over the corpus and asserts
+// types and subclass edges.
+func harvestTaxonomy(res *Result) {
+	var pages []taxonomy.Page
+	for _, a := range res.Corpus.Articles {
+		pages = append(pages, taxonomy.Page{Subject: a.Subject, Categories: a.Categories})
+	}
+	for _, tf := range taxonomy.HarvestTypes(pages) {
+		id := res.KB.AddType(tf.Entity, classIRI(tf.ClassNoun))
+		res.KB.SetInfo(id, core.FactInfo{Confidence: 0.95, Source: "category:" + tf.Category, Time: core.Always})
+	}
+	for _, e := range taxonomy.InduceSubclasses(res.Corpus.CategoryParents) {
+		res.KB.AddSubclass(classIRI(e.Sub), classIRI(e.Super))
+	}
+}
+
+func classIRI(noun string) string { return "kb:" + noun }
+
+// Docs converts corpus articles into extraction documents with gold
+// mention annotations.
+func Docs(corpus *synth.Corpus) []extract.Doc {
+	docs := make([]extract.Doc, 0, len(corpus.Articles))
+	for _, a := range corpus.Articles {
+		d := extract.Doc{Text: a.Text, Source: a.ID}
+		for _, m := range a.Mentions {
+			d.Mentions = append(d.Mentions, extract.Span{Start: m.Start, End: m.End, Entity: m.Entity})
+		}
+		docs = append(docs, d)
+	}
+	return docs
+}
+
+// runExtraction applies infobox and pattern extraction, fanned out over
+// the map-reduce engine when Workers > 1.
+func runExtraction(res *Result, opt Options) ([]extract.Candidate, error) {
+	var cands []extract.Candidate
+	if opt.Infoboxes {
+		var boxes []patterns.Infobox
+		for _, a := range res.Corpus.Articles {
+			if len(a.Infobox) > 0 {
+				boxes = append(boxes, patterns.Infobox{Subject: a.Subject, Fields: a.Infobox})
+			}
+		}
+		resolve := func(name string) (string, bool) {
+			if e := res.World.EntityByName(name); e != nil {
+				return e.ID, true
+			}
+			return "", false
+		}
+		cands = append(cands, patterns.HarvestInfoboxes(boxes, synth.InfoboxRelation, resolve)...)
+	}
+	textCands, err := ExtractMapReduce(Docs(res.Corpus), patterns.DefaultPatterns(), opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return append(cands, textCands...), nil
+}
+
+// ExtractMapReduce runs pattern extraction as a map-reduce job: map =
+// per-document extraction, reduce = dedup by fact key keeping max
+// confidence. This is the §3 "map-reduce computation" path, and the unit
+// experiment E8 scales over `workers`.
+func ExtractMapReduce(docs []extract.Doc, pats []patterns.SurfacePattern, workers int) ([]extract.Candidate, error) {
+	inputs := make([]interface{}, len(docs))
+	for i := range docs {
+		inputs[i] = docs[i]
+	}
+	mapper := func(record interface{}, emit func(string, interface{})) error {
+		doc, ok := record.(extract.Doc)
+		if !ok {
+			return fmt.Errorf("bad record type %T", record)
+		}
+		for _, c := range patterns.Apply(extract.SplitDoc(doc), pats) {
+			emit(c.Key(), c)
+		}
+		return nil
+	}
+	reducer := func(key string, values []interface{}, emit func(interface{})) error {
+		best := values[0].(extract.Candidate)
+		for _, v := range values[1:] {
+			if c := v.(extract.Candidate); c.Confidence > best.Confidence {
+				best = c
+			}
+		}
+		emit(best)
+		return nil
+	}
+	kvs, err := mapreduce.Run(inputs, mapper, reducer, mapreduce.Config{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]extract.Candidate, 0, len(kvs))
+	for _, kv := range kvs {
+		out = append(out, kv.Value.(extract.Candidate))
+	}
+	return out, nil
+}
+
+// runReasoning builds the consistency problem from the schema rules and
+// the harvested taxonomy, then solves it.
+func runReasoning(res *Result, cands []extract.Candidate) []extract.Candidate {
+	rules := reason.ConsistencyRules{
+		Functional: map[string]bool{},
+		TypeCheck: func(c extract.Candidate) bool {
+			schema, ok := synth.SchemaOf(c.P)
+			if !ok {
+				return true
+			}
+			// Use the *harvested* taxonomy (not gold) for typing; missing
+			// types pass (open-world).
+			okS := len(res.KB.DirectTypes(c.S)) == 0 || res.KB.IsA(c.S, schema.Domain)
+			okO := len(res.KB.DirectTypes(c.O)) == 0 || res.KB.IsA(c.O, schema.Range)
+			return okS && okO
+		},
+	}
+	for _, s := range synth.Schema {
+		if s.Functional {
+			rules.Functional[s.ID] = true
+		}
+	}
+	cp := reason.BuildConsistency(cands, rules)
+	sol := cp.SolveWalkSAT(4*len(cands)+1000, 0.2, 7)
+	return cp.Accepted(sol)
+}
+
+// assertFacts writes accepted candidates into the KB with provenance and
+// (optionally) temporal scope mined from their source sentences.
+func assertFacts(res *Result, accepted []extract.Candidate, opt Options) {
+	// Collect per-fact sentence scopes for temporal aggregation.
+	scopes := map[string][]core.Interval{}
+	if opt.Temporal {
+		for _, doc := range Docs(res.Corpus) {
+			for _, sent := range extract.SplitDoc(doc) {
+				iv, ok := temporal.ScopeSentence(sent.Text)
+				if !ok {
+					continue
+				}
+				for _, c := range patterns.Apply([]extract.Sentence{sent}, patterns.DefaultPatterns()) {
+					scopes[c.Key()] = append(scopes[c.Key()], iv)
+				}
+			}
+		}
+	}
+	for _, c := range accepted {
+		id := res.KB.Add(rdf.T(c.S, c.P, c.O))
+		info := core.FactInfo{Confidence: c.Confidence, Source: c.Source, Time: core.Always}
+		if ivs := scopes[c.Key()]; len(ivs) > 0 {
+			if iv, ok := temporal.AggregateScopes(ivs); ok {
+				info.Time = iv
+			}
+		}
+		res.KB.SetInfo(id, info)
+	}
+}
+
+// assertLabels copies the multilingual labels and aliases from the world
+// metadata (standing in for interwiki harvesting).
+func assertLabels(res *Result) {
+	for _, e := range res.World.Entities {
+		for lang, name := range e.Labels {
+			res.KB.Add(rdf.Triple{
+				S: rdf.NewIRI(e.ID), P: rdf.NewIRI(rdf.RDFSLabel),
+				O: rdf.NewLangLiteral(name, lang),
+			})
+		}
+		for _, a := range e.Aliases {
+			res.KB.Add(rdf.Triple{
+				S: rdf.NewIRI(e.ID), P: rdf.NewIRI(rdf.SKOSAltLabel),
+				O: rdf.NewLangLiteral(a, "en"),
+			})
+		}
+	}
+}
+
+// buildNEDModels wires dictionary, context, and relatedness models from
+// the corpus — the §4 deliverable.
+func buildNEDModels(res *Result) {
+	b := ned.NewBuilder()
+	for _, e := range res.World.Entities {
+		b.Observe(e.Name, e.ID, 4)
+		for _, a := range e.Aliases {
+			b.Observe(a, e.ID, 1)
+		}
+	}
+	for _, a := range res.Corpus.Articles {
+		for _, m := range a.Mentions {
+			if m.Linked {
+				b.Observe(m.Surface, m.Entity, 2)
+			}
+		}
+	}
+	res.Dictionary = b.Build()
+	ctx := ned.NewContextModel()
+	rel := ned.NewRelatedness()
+	for _, a := range res.Corpus.Articles {
+		ctx.AddDocument(a.Subject, a.Text)
+		rel.AddLinks(a.ID, a.Links)
+	}
+	ctx.Finalize()
+	res.ContextMod = ctx
+	res.Relatedness = rel
+}
+
+// Linker returns a ready AIDA-style linker over the pipeline's models.
+func (r *Result) Linker() *ned.Linker {
+	return ned.NewLinker(r.Dictionary, r.ContextMod, r.Relatedness)
+}
+
+// EvaluateFacts scores the KB's relational facts against the generating
+// world's ground truth (relation facts only; types and labels excluded).
+func EvaluateFacts(res *Result) (tp, fp, fn int) {
+	goldKeys := map[string]bool{}
+	for _, f := range res.World.Facts {
+		goldKeys[f.S+"\x00"+f.P+"\x00"+f.O] = true
+	}
+	predKeys := map[string]bool{}
+	for _, rel := range relationIRIs() {
+		res.KB.MatchFunc(rdf.Triple{P: rdf.NewIRI(rel)}, func(_ core.FactID, t rdf.Triple) bool {
+			predKeys[t.S.Value+"\x00"+rel+"\x00"+t.O.Value] = true
+			return true
+		})
+	}
+	for k := range predKeys {
+		if goldKeys[k] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	for k := range goldKeys {
+		if !predKeys[k] {
+			fn++
+		}
+	}
+	return tp, fp, fn
+}
+
+func relationIRIs() []string {
+	out := make([]string, 0, len(synth.Schema))
+	for _, s := range synth.Schema {
+		out = append(out, s.ID)
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"kbharvest/internal/eval"
+	"kbharvest/internal/extract"
+	"kbharvest/internal/extract/patterns"
+	"kbharvest/internal/ned"
+	"kbharvest/internal/rdf"
+	"kbharvest/internal/synth"
+)
+
+func smallOptions(seed int64) Options {
+	return Options{
+		World: synth.Config{
+			People: 60, Companies: 15, Cities: 10, Countries: 3,
+			Universities: 6, Products: 12, Prizes: 4,
+		},
+		Seed:      seed,
+		Corpus:    synth.DefaultCorpusOptions(),
+		Workers:   2,
+		Reason:    true,
+		Infoboxes: true,
+		Temporal:  true,
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	res, err := Run(smallOptions(91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KB.Len() == 0 {
+		t.Fatal("empty KB")
+	}
+	if res.Candidates == 0 || res.Accepted == 0 {
+		t.Fatalf("candidates=%d accepted=%d", res.Candidates, res.Accepted)
+	}
+	if res.Accepted > res.Candidates {
+		t.Error("reasoning cannot accept more than extracted")
+	}
+	// All stages timed.
+	stages := map[string]bool{}
+	for _, s := range res.Timings {
+		stages[s.Stage] = true
+	}
+	for _, want := range []string{"generate", "taxonomy", "extract", "reason", "assert", "labels", "nedmodels"} {
+		if !stages[want] {
+			t.Errorf("missing stage timing %q", want)
+		}
+	}
+}
+
+func TestExtractionQuality(t *testing.T) {
+	res, err := Run(smallOptions(92))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, fp, fn := EvaluateFacts(res)
+	score := eval.Score(tp, fp, fn)
+	t.Logf("pipeline fact quality: %v", score)
+	if score.Precision < 0.85 {
+		t.Errorf("pipeline precision = %v", score)
+	}
+	if score.Recall < 0.45 {
+		t.Errorf("pipeline recall = %v", score)
+	}
+}
+
+func TestReasoningImprovesPrecision(t *testing.T) {
+	noReason := smallOptions(93)
+	noReason.Reason = false
+	withReason := smallOptions(93)
+
+	resNo, err := Run(noReason)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resYes, err := Run(withReason)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpN, fpN, _ := EvaluateFacts(resNo)
+	tpY, fpY, _ := EvaluateFacts(resYes)
+	precNo := eval.Accuracy(tpN, tpN+fpN)
+	precYes := eval.Accuracy(tpY, tpY+fpY)
+	t.Logf("precision without reasoning %.3f, with %.3f", precNo, precYes)
+	if precYes < precNo {
+		t.Errorf("reasoning lowered precision: %.3f -> %.3f", precNo, precYes)
+	}
+}
+
+func TestTaxonomyInKB(t *testing.T) {
+	res, err := Run(smallOptions(94))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Harvested types must cover most entities.
+	typed := 0
+	for _, e := range res.World.Entities {
+		if len(res.KB.DirectTypes(e.ID)) > 0 {
+			typed++
+		}
+	}
+	if frac := float64(typed) / float64(len(res.World.Entities)); frac < 0.95 {
+		t.Errorf("only %.2f of entities typed", frac)
+	}
+	// Subclass edges present.
+	if len(res.KB.Subclasses(classIRI("person"))) == 0 {
+		t.Error("no induced person subclasses")
+	}
+}
+
+func TestTemporalScopesInKB(t *testing.T) {
+	res, err := Run(smallOptions(95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoped := 0
+	for _, rel := range relationIRIs() {
+		for _, id := range res.KB.MatchFacts(patternFor(rel)) {
+			info, _ := res.KB.Info(id)
+			if info.Time.Begin != -1<<31 && info.Time.End != 1<<31-1 {
+				scoped++
+			}
+		}
+	}
+	if scoped == 0 {
+		t.Error("no facts carry bounded temporal scopes")
+	}
+}
+
+func TestMapReduceWorkerEquivalence(t *testing.T) {
+	w := synth.Generate(synth.Config{
+		People: 40, Companies: 10, Cities: 8, Countries: 3,
+		Universities: 4, Products: 8, Prizes: 3,
+	}, 96)
+	corpus := synth.BuildCorpus(w, synth.DefaultCorpusOptions())
+	docs := Docs(corpus)
+	base, err := ExtractMapReduce(docs, patterns.DefaultPatterns(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := ExtractMapReduce(docs, patterns.DefaultPatterns(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(keysOf(base), keysOf(got)) {
+			t.Errorf("workers=%d extraction differs from workers=1", workers)
+		}
+	}
+}
+
+func TestLinkerFromPipeline(t *testing.T) {
+	res, err := Run(smallOptions(97))
+	if err != nil {
+		t.Fatal(err)
+	}
+	linker := res.Linker()
+	if linker == nil || linker.Dict == nil {
+		t.Fatal("linker not wired")
+	}
+	// It should disambiguate a canonical name to the right entity.
+	p := res.World.People[0]
+	results := linker.Disambiguate([]ned.Mention{{Surface: p.Name, Context: ""}}, ned.PriorOnly)
+	if len(results) != 1 || results[0].Entity != p.ID {
+		t.Errorf("linker result = %+v, want %s", results, p.ID)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a, err := Run(smallOptions(98))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallOptions(98))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Candidates != b.Candidates || a.Accepted != b.Accepted || a.KB.Len() != b.KB.Len() {
+		t.Errorf("same-seed runs differ: %d/%d/%d vs %d/%d/%d",
+			a.Candidates, a.Accepted, a.KB.Len(), b.Candidates, b.Accepted, b.KB.Len())
+	}
+}
+
+func TestDocsAdapter(t *testing.T) {
+	w := synth.Generate(synth.Config{
+		People: 10, Companies: 4, Cities: 4, Countries: 2,
+		Universities: 2, Products: 3, Prizes: 2,
+	}, 99)
+	corpus := synth.BuildCorpus(w, synth.DefaultCorpusOptions())
+	docs := Docs(corpus)
+	if len(docs) != len(corpus.Articles) {
+		t.Fatalf("docs = %d, want %d", len(docs), len(corpus.Articles))
+	}
+	for i, d := range docs {
+		a := corpus.Articles[i]
+		if d.Text != a.Text || d.Source != a.ID {
+			t.Fatalf("doc %d mismatch", i)
+		}
+		if len(d.Mentions) != len(a.Mentions) {
+			t.Fatalf("doc %d mention count mismatch", i)
+		}
+		for j, m := range d.Mentions {
+			if d.Text[m.Start:m.End] != a.Mentions[j].Surface {
+				t.Fatalf("doc %d mention %d offsets wrong", i, j)
+			}
+		}
+	}
+}
+
+func TestRunDefaultsZeroValueWorld(t *testing.T) {
+	// A zero-valued World config falls back to the default world rather
+	// than producing an empty pipeline.
+	opt := Options{Seed: 100, Workers: 4, Infoboxes: true}
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.World.Entities) == 0 || res.KB.Len() == 0 {
+		t.Error("zero-value options should build the default world")
+	}
+}
+
+func keysOf(cands []extract.Candidate) map[string]bool {
+	out := make(map[string]bool, len(cands))
+	for _, c := range cands {
+		out[c.Key()] = true
+	}
+	return out
+}
+
+func patternFor(rel string) rdf.Triple {
+	return rdf.Triple{P: rdf.NewIRI(rel)}
+}

@@ -1,0 +1,69 @@
+package rdf
+
+import "strings"
+
+// Triple is one SPO (subject-predicate-object) statement, the atomic unit
+// of knowledge in the data model used by DBpedia, YAGO, Freebase, and the
+// other knowledge bases the tutorial surveys.
+type Triple struct {
+	S, P, O Term
+}
+
+// T is shorthand for building a triple from three IRIs, which is the
+// overwhelmingly common case in entity-relationship facts.
+func T(s, p, o string) Triple {
+	return Triple{S: NewIRI(s), P: NewIRI(p), O: NewIRI(o)}
+}
+
+// TL is shorthand for building a triple whose object is a plain literal.
+func TL(s, p, lex string) Triple {
+	return Triple{S: NewIRI(s), P: NewIRI(p), O: NewLiteral(lex)}
+}
+
+// String renders the triple in N-Triples syntax, terminated with " .".
+func (t Triple) String() string {
+	var b strings.Builder
+	b.WriteString(t.S.String())
+	b.WriteByte(' ')
+	b.WriteString(t.P.String())
+	b.WriteByte(' ')
+	b.WriteString(t.O.String())
+	b.WriteString(" .")
+	return b.String()
+}
+
+// Equal reports whether two triples are identical.
+func (t Triple) Equal(u Triple) bool { return t == u }
+
+// Compare orders triples lexicographically by subject, predicate, object.
+func (t Triple) Compare(u Triple) int {
+	if c := t.S.Compare(u.S); c != 0 {
+		return c
+	}
+	if c := t.P.Compare(u.P); c != 0 {
+		return c
+	}
+	return t.O.Compare(u.O)
+}
+
+// Well-known vocabulary IRIs. The tutorial's examples use RDF/RDFS/OWL
+// core vocabulary plus KB-specific relations; we keep the standard ones
+// here and let each KB define its own relation IRIs.
+const (
+	// RDFType is rdf:type, linking an entity to a class (§2).
+	RDFType = "rdf:type"
+	// RDFSSubClassOf is rdfs:subClassOf, the taxonomy backbone (§2).
+	RDFSSubClassOf = "rdfs:subClassOf"
+	// RDFSLabel is rdfs:label, attaching (possibly multilingual) names.
+	RDFSLabel = "rdfs:label"
+	// OWLSameAs is owl:sameAs, the entity-linkage relation (§4).
+	OWLSameAs = "owl:sameAs"
+	// SKOSAltLabel holds alternative surface forms (aliases) of an entity.
+	SKOSAltLabel = "skos:altLabel"
+	// XSDDate marks date-typed literals.
+	XSDDate = "xsd:date"
+	// XSDInteger marks integer-typed literals.
+	XSDInteger = "xsd:integer"
+	// XSDDouble marks floating-point-typed literals.
+	XSDDouble = "xsd:double"
+)

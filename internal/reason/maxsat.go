@@ -1,0 +1,296 @@
+// Package reason implements logical consistency reasoning over candidate
+// facts (§3): the SOFIE/YAGO approach of casting fact acceptance as
+// weighted MaxSat. Extracted candidates become weighted unit clauses
+// (weight = extraction confidence); consistency rules — functionality,
+// type signatures, relation disjointness, temporal exclusion — become hard
+// clauses. A solver then picks the consistent subset of maximum weight,
+// which lifts precision over accepting raw extractions (experiment E6).
+package reason
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Lit is one literal: variable index, possibly negated.
+type Lit struct {
+	Var int
+	Neg bool
+}
+
+// Clause is a disjunction of literals. Hard clauses must be satisfied;
+// soft clauses contribute Weight when satisfied.
+type Clause struct {
+	Lits   []Lit
+	Weight float64
+	Hard   bool
+}
+
+// Problem is a weighted partial MaxSat instance.
+type Problem struct {
+	names   []string
+	clauses []Clause
+	// watch[v] lists clause indexes containing variable v.
+	watch [][]int
+}
+
+// NewProblem returns an empty instance.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVar adds a boolean variable and returns its index.
+func (p *Problem) AddVar(name string) int {
+	p.names = append(p.names, name)
+	p.watch = append(p.watch, nil)
+	return len(p.names) - 1
+}
+
+// NumVars returns the variable count.
+func (p *Problem) NumVars() int { return len(p.names) }
+
+// Name returns a variable's name.
+func (p *Problem) Name(v int) string { return p.names[v] }
+
+// AddSoft adds a soft clause with the given weight.
+func (p *Problem) AddSoft(weight float64, lits ...Lit) error {
+	return p.addClause(Clause{Lits: lits, Weight: weight})
+}
+
+// AddHard adds a hard clause.
+func (p *Problem) AddHard(lits ...Lit) error {
+	return p.addClause(Clause{Lits: lits, Hard: true})
+}
+
+func (p *Problem) addClause(c Clause) error {
+	if len(c.Lits) == 0 {
+		return fmt.Errorf("reason: empty clause")
+	}
+	for _, l := range c.Lits {
+		if l.Var < 0 || l.Var >= len(p.names) {
+			return fmt.Errorf("reason: variable %d out of range", l.Var)
+		}
+	}
+	idx := len(p.clauses)
+	p.clauses = append(p.clauses, c)
+	seen := map[int]bool{}
+	for _, l := range c.Lits {
+		if !seen[l.Var] {
+			seen[l.Var] = true
+			p.watch[l.Var] = append(p.watch[l.Var], idx)
+		}
+	}
+	return nil
+}
+
+// Solution is one assignment with its quality.
+type Solution struct {
+	Values []bool
+	// SoftWeight is the total weight of satisfied soft clauses.
+	SoftWeight float64
+	// HardViolations counts unsatisfied hard clauses (0 for feasible
+	// solutions).
+	HardViolations int
+}
+
+func satisfied(c Clause, vals []bool) bool {
+	for _, l := range c.Lits {
+		if vals[l.Var] != l.Neg {
+			return true
+		}
+	}
+	return false
+}
+
+// Evaluate scores an assignment.
+func (p *Problem) Evaluate(vals []bool) Solution {
+	s := Solution{Values: vals}
+	for _, c := range p.clauses {
+		if satisfied(c, vals) {
+			if !c.Hard {
+				s.SoftWeight += c.Weight
+			}
+		} else if c.Hard {
+			s.HardViolations++
+		}
+	}
+	return s
+}
+
+// SolveGreedy starts from all-true (accept every fact) and repairs hard
+// violations by flipping, within each violated clause, the variable whose
+// flip loses the least soft weight; then does one local-improvement pass
+// over soft clauses. Deterministic.
+func (p *Problem) SolveGreedy() Solution {
+	vals := make([]bool, len(p.names))
+	for i := range vals {
+		vals[i] = true
+	}
+	// Repair loop.
+	for iter := 0; iter < 4*len(p.clauses)+16; iter++ {
+		vi := p.firstViolatedHard(vals)
+		if vi < 0 {
+			break
+		}
+		c := p.clauses[vi]
+		bestVar, bestLoss := -1, 0.0
+		for _, l := range c.Lits {
+			loss := p.flipLoss(vals, l.Var)
+			if bestVar == -1 || loss < bestLoss {
+				bestVar, bestLoss = l.Var, loss
+			}
+		}
+		vals[bestVar] = !vals[bestVar]
+	}
+	// Local improvement on soft weight (single pass, keep feasibility).
+	for v := range vals {
+		if p.flipLoss(vals, v) < 0 && p.flipKeepsFeasible(vals, v) {
+			vals[v] = !vals[v]
+		}
+	}
+	return p.Evaluate(vals)
+}
+
+// flipLoss returns the soft-weight change lost by flipping v (positive =
+// flip hurts).
+func (p *Problem) flipLoss(vals []bool, v int) float64 {
+	before, after := 0.0, 0.0
+	vals[v] = !vals[v]
+	for _, ci := range p.watch[v] {
+		c := p.clauses[ci]
+		if c.Hard {
+			continue
+		}
+		if satisfied(c, vals) {
+			after += c.Weight
+		}
+	}
+	vals[v] = !vals[v]
+	for _, ci := range p.watch[v] {
+		c := p.clauses[ci]
+		if c.Hard {
+			continue
+		}
+		if satisfied(c, vals) {
+			before += c.Weight
+		}
+	}
+	return before - after
+}
+
+func (p *Problem) flipKeepsFeasible(vals []bool, v int) bool {
+	vals[v] = !vals[v]
+	ok := true
+	for _, ci := range p.watch[v] {
+		c := p.clauses[ci]
+		if c.Hard && !satisfied(c, vals) {
+			ok = false
+			break
+		}
+	}
+	vals[v] = !vals[v]
+	return ok
+}
+
+func (p *Problem) firstViolatedHard(vals []bool) int {
+	for i, c := range p.clauses {
+		if c.Hard && !satisfied(c, vals) {
+			return i
+		}
+	}
+	return -1
+}
+
+// SolveWalkSAT runs weighted WalkSAT: starting from the greedy solution,
+// it repeatedly picks an unsatisfied clause (hard ones first) and flips
+// either a random variable in it (with probability noise) or the variable
+// whose flip minimizes the damage. The best feasible solution seen wins.
+func (p *Problem) SolveWalkSAT(maxFlips int, noise float64, seed int64) Solution {
+	rng := rand.New(rand.NewSource(seed))
+	cur := p.SolveGreedy()
+	vals := append([]bool(nil), cur.Values...)
+	best := cur
+	for flip := 0; flip < maxFlips; flip++ {
+		ci := p.pickUnsatisfied(vals, rng)
+		if ci < 0 {
+			break // everything satisfied
+		}
+		c := p.clauses[ci]
+		var v int
+		if rng.Float64() < noise {
+			v = c.Lits[rng.Intn(len(c.Lits))].Var
+		} else {
+			v = -1
+			bestLoss := 0.0
+			for _, l := range c.Lits {
+				loss := p.flipLoss(vals, l.Var)
+				if v == -1 || loss < bestLoss {
+					v, bestLoss = l.Var, loss
+				}
+			}
+		}
+		vals[v] = !vals[v]
+		sol := p.Evaluate(vals)
+		if sol.HardViolations == 0 &&
+			(best.HardViolations > 0 || sol.SoftWeight > best.SoftWeight) {
+			best = Solution{Values: append([]bool(nil), vals...), SoftWeight: sol.SoftWeight}
+		}
+	}
+	return best
+}
+
+// pickUnsatisfied returns a violated hard clause if any, else a random
+// unsatisfied soft clause, else -1.
+func (p *Problem) pickUnsatisfied(vals []bool, rng *rand.Rand) int {
+	var soft []int
+	for i, c := range p.clauses {
+		if satisfied(c, vals) {
+			continue
+		}
+		if c.Hard {
+			return i
+		}
+		soft = append(soft, i)
+	}
+	if len(soft) == 0 {
+		return -1
+	}
+	return soft[rng.Intn(len(soft))]
+}
+
+// SolveExhaustive enumerates all assignments — exact, for problems with at
+// most ~22 variables (used to validate the heuristics on small cores).
+func (p *Problem) SolveExhaustive() (Solution, error) {
+	n := len(p.names)
+	if n > 22 {
+		return Solution{}, fmt.Errorf("reason: %d variables too many for exhaustive search", n)
+	}
+	best := Solution{HardViolations: 1 << 30}
+	vals := make([]bool, n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for v := 0; v < n; v++ {
+			vals[v] = mask&(1<<uint(v)) != 0
+		}
+		sol := p.Evaluate(vals)
+		if sol.HardViolations < best.HardViolations ||
+			(sol.HardViolations == best.HardViolations && sol.SoftWeight > best.SoftWeight) {
+			best = Solution{
+				Values:         append([]bool(nil), vals...),
+				SoftWeight:     sol.SoftWeight,
+				HardViolations: sol.HardViolations,
+			}
+		}
+	}
+	return best, nil
+}
+
+// TrueVars lists the names of variables assigned true, sorted.
+func (p *Problem) TrueVars(s Solution) []string {
+	var out []string
+	for v, val := range s.Values {
+		if val {
+			out = append(out, p.names[v])
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,120 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Commonsense corpus: short texts stating concept-level knowledge — the
+// orthogonal knowledge dimension §3 of the tutorial calls out ("apples
+// can be red, green, juicy, sweet, sour, but not fast or funny";
+// "mouthpiece partOf clarinet"). The generator renders a fixed gold
+// inventory of concept properties and part-whole pairs into hedged
+// natural-language sentences plus distractors, so property extraction can
+// be scored exactly.
+
+// conceptProperties is the gold concept -> properties inventory, straight
+// from the register of examples the tutorial and ConceptNet use.
+var conceptProperties = map[string][]string{
+	"apple":     {"red", "green", "juicy", "sweet", "sour"},
+	"clarinet":  {"cylindrical", "wooden", "delicate"},
+	"lemon":     {"yellow", "sour", "juicy"},
+	"snowflake": {"white", "cold", "fragile"},
+	"diamond":   {"hard", "expensive", "transparent"},
+	"feather":   {"light", "soft"},
+	"oven":      {"hot", "heavy"},
+	"river":     {"long", "wet"},
+	"elephant":  {"large", "gray", "heavy"},
+	"violin":    {"wooden", "fragile", "expensive"},
+}
+
+// partWhole is the gold part-of inventory.
+var partWhole = [][2]string{
+	{"mouthpiece", "clarinet"},
+	{"keel", "ship"},
+	{"trunk", "elephant"},
+	{"peel", "lemon"},
+	{"core", "apple"},
+	{"string", "violin"},
+	{"door", "oven"},
+	{"delta", "river"},
+}
+
+// CommonsenseGold bundles the ground truth for scoring.
+type CommonsenseGold struct {
+	// Properties maps concept -> set of gold properties.
+	Properties map[string]map[string]bool
+	// Parts holds gold (part, whole) pairs.
+	Parts map[[2]string]bool
+}
+
+// BuildCommonsensePages renders the inventory as prose pages. Each
+// property is stated 1-3 times across pages with varied templates; each
+// page also carries distractor sentences that must not yield facts.
+func BuildCommonsensePages(seed int64) ([]WebPage, CommonsenseGold) {
+	rng := rand.New(rand.NewSource(seed))
+	gold := CommonsenseGold{
+		Properties: map[string]map[string]bool{},
+		Parts:      map[[2]string]bool{},
+	}
+	var concepts []string
+	for c := range conceptProperties {
+		concepts = append(concepts, c)
+	}
+	// Deterministic order.
+	for i := 0; i < len(concepts); i++ {
+		for j := i + 1; j < len(concepts); j++ {
+			if concepts[j] < concepts[i] {
+				concepts[i], concepts[j] = concepts[j], concepts[i]
+			}
+		}
+	}
+	var pages []WebPage
+	for pi, concept := range concepts {
+		props := conceptProperties[concept]
+		gold.Properties[concept] = map[string]bool{}
+		for _, p := range props {
+			gold.Properties[concept][p] = true
+		}
+		var b strings.Builder
+		plural := Plural(concept)
+		cap := strings.ToUpper(plural[:1]) + plural[1:]
+		switch rng.Intn(3) {
+		case 0:
+			b.WriteString(cap + " can be " + enumerate(props) + ". ")
+		case 1:
+			b.WriteString(cap + " are usually " + enumerate(props) + ". ")
+		default:
+			// Split into two statements.
+			half := len(props) / 2
+			if half == 0 {
+				half = 1
+			}
+			b.WriteString(cap + " can be " + enumerate(props[:half]) + ". ")
+			if half < len(props) {
+				b.WriteString(cap + " are often " + enumerate(props[half:]) + ". ")
+			}
+		}
+		// Distractors: sentences about named entities and actions that
+		// must not produce concept properties.
+		b.WriteString("Everyone knows that Daniel visited the market on Tuesday. ")
+		b.WriteString("The shop sells them in every town. ")
+		pages = append(pages, WebPage{
+			URL:  "web://commonsense/page-" + itoa(pi),
+			Text: b.String(),
+		})
+	}
+	// Part-whole page.
+	var pb strings.Builder
+	for _, pw := range partWhole {
+		gold.Parts[pw] = true
+		switch rng.Intn(2) {
+		case 0:
+			pb.WriteString("The " + pw[0] + " of a " + pw[1] + " needs care. ")
+		default:
+			pb.WriteString("Experts examined the " + pw[0] + " of a " + pw[1] + " closely. ")
+		}
+	}
+	pages = append(pages, WebPage{URL: "web://commonsense/parts", Text: pb.String()})
+	return pages, gold
+}

@@ -1,0 +1,50 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildCommonsensePages(t *testing.T) {
+	pages, gold := BuildCommonsensePages(5)
+	if len(pages) != len(conceptProperties)+1 {
+		t.Fatalf("pages = %d", len(pages))
+	}
+	if len(gold.Properties) != len(conceptProperties) {
+		t.Fatalf("gold concepts = %d", len(gold.Properties))
+	}
+	if len(gold.Parts) != len(partWhole) {
+		t.Fatalf("gold parts = %d", len(gold.Parts))
+	}
+	// Every gold property literally appears in some page text.
+	all := ""
+	for _, p := range pages {
+		all += p.Text + " "
+	}
+	for concept, props := range gold.Properties {
+		if !strings.Contains(all, Plural(concept)) &&
+			!strings.Contains(strings.ToLower(all), Plural(concept)) {
+			t.Errorf("concept %q not rendered", concept)
+		}
+		for prop := range props {
+			if !strings.Contains(all, prop) {
+				t.Errorf("property %q not rendered", prop)
+			}
+		}
+	}
+	for pw := range gold.Parts {
+		if !strings.Contains(all, pw[0]+" of a "+pw[1]) {
+			t.Errorf("part pair %v not rendered", pw)
+		}
+	}
+}
+
+func TestBuildCommonsensePagesDeterministic(t *testing.T) {
+	a, _ := BuildCommonsensePages(5)
+	b, _ := BuildCommonsensePages(5)
+	for i := range a {
+		if a[i].Text != b[i].Text {
+			t.Fatalf("page %d differs between same-seed builds", i)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package synth
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Web-style pages for the set-expansion and Hearst-pattern experiments
+// (§2 "Web-based approaches that use techniques like set expansion").
+// Each page is either an HTML-ish list of co-class entities or running
+// text with "C such as A, B, and C" sentences.
+
+// WebPage is one synthetic web document.
+type WebPage struct {
+	URL  string
+	Text string
+	// Items are the list entries in order (empty for prose pages).
+	Items []string
+}
+
+// BuildWebPages renders list and Hearst pages over the world's classes.
+// pagesPerClass controls corpus size; every page draws a random co-class
+// subset, so different pages overlap partially — the redundancy signal set
+// expansion exploits.
+func BuildWebPages(w *World, pagesPerClass int, seed int64) []WebPage {
+	rng := rand.New(rand.NewSource(seed))
+	var pages []WebPage
+	groups := classGroups(w)
+	var classes []string
+	for c := range groups {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		members := groups[class]
+		if len(members) < 4 {
+			continue
+		}
+		noun := classNoun[class]
+		for p := 0; p < pagesPerClass; p++ {
+			n := 4 + rng.Intn(5)
+			if n > len(members) {
+				n = len(members)
+			}
+			perm := rng.Perm(len(members))
+			items := make([]string, n)
+			for i := 0; i < n; i++ {
+				items[i] = members[perm[i]].Name
+			}
+			if p%2 == 0 {
+				pages = append(pages, listPage(class, noun, items, p))
+			} else {
+				pages = append(pages, hearstPage(class, noun, items, p, rng))
+			}
+		}
+	}
+	return pages
+}
+
+func classGroups(w *World) map[string][]*Entity {
+	groups := make(map[string][]*Entity)
+	for _, e := range w.Entities {
+		groups[e.Class] = append(groups[e.Class], e)
+	}
+	return groups
+}
+
+func listPage(class, noun string, items []string, idx int) WebPage {
+	var b strings.Builder
+	b.WriteString("Notable " + Plural(noun) + ":\n")
+	for _, it := range items {
+		b.WriteString("* " + it + "\n")
+	}
+	return WebPage{
+		URL:   "web://" + strings.ReplaceAll(class, ":", "/") + "/list-" + itoa(idx),
+		Text:  b.String(),
+		Items: items,
+	}
+}
+
+func hearstPage(class, noun string, items []string, idx int, rng *rand.Rand) WebPage {
+	patterns := []string{
+		"%s such as %s are widely discussed.",
+		"Many %s, including %s, attracted attention.",
+		"%s like %s shaped their field.",
+	}
+	var b strings.Builder
+	// Two Hearst sentences per page over item subsets.
+	for s := 0; s < 2 && len(items) >= 2; s++ {
+		k := 2 + rng.Intn(len(items)-1)
+		if k > len(items) {
+			k = len(items)
+		}
+		list := enumerate(items[:k])
+		p := patterns[rng.Intn(len(patterns))]
+		plural := Plural(noun)
+		sentence := strings.Replace(p, "%s", strings.ToUpper(plural[:1])+plural[1:], 1)
+		sentence = strings.Replace(sentence, "%s", list, 1)
+		b.WriteString(sentence + " ")
+		// Rotate items so the second sentence differs.
+		items = append(items[1:], items[0])
+	}
+	return WebPage{
+		URL:  "web://" + strings.ReplaceAll(class, ":", "/") + "/prose-" + itoa(idx),
+		Text: b.String(),
+	}
+}
+
+// enumerate renders "A, B, and C".
+func enumerate(items []string) string {
+	switch len(items) {
+	case 0:
+		return ""
+	case 1:
+		return items[0]
+	case 2:
+		return items[0] + " and " + items[1]
+	default:
+		return strings.Join(items[:len(items)-1], ", ") + ", and " + items[len(items)-1]
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

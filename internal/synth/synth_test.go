@@ -1,0 +1,379 @@
+package synth
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"kbharvest/internal/core"
+	"kbharvest/internal/rdf"
+)
+
+func smallConfig() Config {
+	return Config{
+		People: 40, Companies: 12, Cities: 8, Countries: 3,
+		Universities: 5, Products: 10, Prizes: 4,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w1 := Generate(smallConfig(), 7)
+	w2 := Generate(smallConfig(), 7)
+	if len(w1.Entities) != len(w2.Entities) {
+		t.Fatalf("entity counts differ: %d vs %d", len(w1.Entities), len(w2.Entities))
+	}
+	for i := range w1.Entities {
+		if w1.Entities[i].ID != w2.Entities[i].ID {
+			t.Fatalf("entity %d differs: %s vs %s", i, w1.Entities[i].ID, w2.Entities[i].ID)
+		}
+	}
+	if len(w1.Facts) != len(w2.Facts) {
+		t.Fatalf("fact counts differ")
+	}
+	if !reflect.DeepEqual(w1.Facts[:10], w2.Facts[:10]) {
+		t.Error("facts differ between same-seed runs")
+	}
+	w3 := Generate(smallConfig(), 8)
+	if w3.Entities[0].ID == w1.Entities[0].ID && w3.Entities[1].ID == w1.Entities[1].ID && w3.Entities[2].ID == w1.Entities[2].ID {
+		t.Error("different seeds should give different worlds")
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	cfg := smallConfig()
+	w := Generate(cfg, 7)
+	if len(w.People) != cfg.People || len(w.Companies) != cfg.Companies ||
+		len(w.Cities) != cfg.Cities || len(w.Products) != cfg.Products {
+		t.Errorf("counts: %d people %d companies %d cities %d products",
+			len(w.People), len(w.Companies), len(w.Cities), len(w.Products))
+	}
+	want := cfg.People + cfg.Companies + cfg.Cities + cfg.Countries + cfg.Universities + cfg.Products + cfg.Prizes
+	if len(w.Entities) != want {
+		t.Errorf("total entities = %d, want %d", len(w.Entities), want)
+	}
+}
+
+func TestEntityIDsUnique(t *testing.T) {
+	w := Generate(smallConfig(), 7)
+	seen := map[string]bool{}
+	for _, e := range w.Entities {
+		if seen[e.ID] {
+			t.Fatalf("duplicate entity ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestGroundTruthTypes(t *testing.T) {
+	w := Generate(smallConfig(), 7)
+	for _, p := range w.People {
+		if !w.Truth.IsA(p.ID, ClassPerson) {
+			t.Errorf("%s should be a person (class %s)", p.ID, p.Class)
+		}
+	}
+	for _, c := range w.Companies {
+		if !w.Truth.IsA(c.ID, ClassCompany) {
+			t.Errorf("%s should be a company", c.ID)
+		}
+	}
+}
+
+func TestFactsWellTyped(t *testing.T) {
+	w := Generate(smallConfig(), 7)
+	for _, f := range w.Facts {
+		schema, ok := SchemaOf(f.P)
+		if !ok {
+			t.Fatalf("fact with unknown relation %s", f.P)
+		}
+		if !w.Truth.IsA(f.S, schema.Domain) {
+			t.Errorf("subject %s of %s is not a %s", f.S, f.P, schema.Domain)
+		}
+		if !w.Truth.IsA(f.O, schema.Range) {
+			t.Errorf("object %s of %s is not a %s", f.O, f.P, schema.Range)
+		}
+		if !f.Time.Valid() {
+			t.Errorf("fact %v has invalid interval", f)
+		}
+	}
+}
+
+func TestFunctionalRelationsAreFunctional(t *testing.T) {
+	w := Generate(smallConfig(), 7)
+	for _, schema := range Schema {
+		if !schema.Functional {
+			continue
+		}
+		seen := map[string]string{}
+		for _, f := range w.FactsOf(schema.ID) {
+			if prev, ok := seen[f.S]; ok && prev != f.O {
+				t.Errorf("%s: subject %s has two objects %s, %s", schema.ID, f.S, prev, f.O)
+			}
+			seen[f.S] = f.O
+		}
+	}
+}
+
+func TestSymmetricRelationsAreSymmetric(t *testing.T) {
+	w := Generate(smallConfig(), 7)
+	for _, schema := range Schema {
+		if !schema.Symmetric {
+			continue
+		}
+		for _, f := range w.FactsOf(schema.ID) {
+			if !w.HasFact(f.O, f.P, f.S) {
+				t.Errorf("%s(%s,%s) lacks inverse", f.P, f.S, f.O)
+			}
+		}
+	}
+}
+
+func TestMultilingualLabels(t *testing.T) {
+	w := Generate(smallConfig(), 7)
+	e := w.People[0]
+	if len(e.Labels) != 4 {
+		t.Fatalf("labels = %v", e.Labels)
+	}
+	if e.Labels["en"] != e.Name {
+		t.Errorf("en label = %q, want %q", e.Labels["en"], e.Name)
+	}
+	// Labels asserted in the truth store.
+	labels := w.Truth.Match(rdf.Triple{S: rdf.NewIRI(e.ID), P: rdf.NewIRI(rdf.RDFSLabel)})
+	if len(labels) < 2 {
+		t.Errorf("label triples = %d", len(labels))
+	}
+}
+
+func TestAmbiguousAliasesExist(t *testing.T) {
+	w := Generate(smallConfig(), 7)
+	aliasOwners := map[string][]string{}
+	for _, e := range w.Entities {
+		for _, a := range e.Aliases {
+			aliasOwners[a] = append(aliasOwners[a], e.ID)
+		}
+	}
+	ambiguous := 0
+	for _, owners := range aliasOwners {
+		if len(owners) > 1 {
+			ambiguous++
+		}
+	}
+	if ambiguous == 0 {
+		t.Error("world should contain ambiguous aliases for NED")
+	}
+}
+
+func TestScaledConfig(t *testing.T) {
+	c := DefaultConfig().Scaled(0.1)
+	if c.People != 30 || c.Countries < 1 {
+		t.Errorf("scaled config = %+v", c)
+	}
+}
+
+func TestBuildCorpus(t *testing.T) {
+	w := Generate(smallConfig(), 7)
+	c := BuildCorpus(w, DefaultCorpusOptions())
+	if len(c.Articles) != len(w.Entities) {
+		t.Fatalf("articles = %d, want %d", len(c.Articles), len(w.Entities))
+	}
+	for _, a := range c.Articles {
+		if a.Title == "" || a.Subject == "" || a.Text == "" {
+			t.Fatalf("incomplete article %+v", a)
+		}
+		if len(a.Categories) == 0 {
+			t.Errorf("article %s has no categories", a.Title)
+		}
+		// Mention offsets must be exact.
+		for _, m := range a.Mentions {
+			if m.Start < 0 || m.End > len(a.Text) || a.Text[m.Start:m.End] != m.Surface {
+				t.Fatalf("bad mention offsets in %s: %+v", a.Title, m)
+			}
+			if _, ok := w.ByID[m.Entity]; !ok {
+				t.Fatalf("mention refers to unknown entity %s", m.Entity)
+			}
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	w := Generate(smallConfig(), 7)
+	c1 := BuildCorpus(w, DefaultCorpusOptions())
+	c2 := BuildCorpus(w, DefaultCorpusOptions())
+	for i := range c1.Articles {
+		if c1.Articles[i].Text != c2.Articles[i].Text {
+			t.Fatalf("article %d differs between same-seed builds", i)
+		}
+	}
+}
+
+func TestCorpusCategories(t *testing.T) {
+	w := Generate(smallConfig(), 7)
+	c := BuildCorpus(w, DefaultCorpusOptions())
+	a := c.BySubject[w.People[0].ID]
+	found := false
+	for _, cat := range a.Categories {
+		if cat == CategoryForClass(w.People[0].Class) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("person article lacks class category: %v", a.Categories)
+	}
+	// Category graph mirrors the taxonomy.
+	parents := c.CategoryParents["Physicists"]
+	if len(parents) == 0 || !containsStr(parents, "Scientists") {
+		t.Errorf("Physicists parents = %v", parents)
+	}
+}
+
+func TestCorpusInfoboxes(t *testing.T) {
+	w := Generate(smallConfig(), 7)
+	c := BuildCorpus(w, DefaultCorpusOptions())
+	withInfobox := 0
+	for _, a := range c.Articles {
+		if len(a.Infobox) > 0 {
+			withInfobox++
+		}
+		for key := range a.Infobox {
+			if _, _, ok := InfoboxRelation(key); !ok {
+				t.Errorf("unmapped infobox key %q", key)
+			}
+		}
+	}
+	if withInfobox < len(c.Articles)/4 {
+		t.Errorf("only %d/%d articles have infoboxes", withInfobox, len(c.Articles))
+	}
+}
+
+func TestCorpusLinks(t *testing.T) {
+	w := Generate(smallConfig(), 7)
+	c := BuildCorpus(w, DefaultCorpusOptions())
+	linked := 0
+	for _, a := range c.Articles {
+		linked += len(a.Links)
+		for _, l := range a.Links {
+			if _, ok := w.ByID[l]; !ok {
+				t.Fatalf("link to unknown entity %s", l)
+			}
+		}
+	}
+	if linked == 0 {
+		t.Error("corpus has no hyperlinks")
+	}
+}
+
+func TestPlural(t *testing.T) {
+	cases := map[string]string{
+		"physicist": "physicists",
+		"company":   "companies",
+		"city":      "cities",
+		"boss":      "bosses",
+		"box":       "boxes",
+		"church":    "churches",
+		"day":       "days",
+	}
+	for in, want := range cases {
+		if got := Plural(in); got != want {
+			t.Errorf("Plural(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBuildWebPages(t *testing.T) {
+	w := Generate(smallConfig(), 7)
+	pages := BuildWebPages(w, 4, 13)
+	if len(pages) == 0 {
+		t.Fatal("no web pages")
+	}
+	lists, prose := 0, 0
+	for _, p := range pages {
+		if p.URL == "" || p.Text == "" {
+			t.Fatalf("incomplete page %+v", p)
+		}
+		if len(p.Items) > 0 {
+			lists++
+			for _, it := range p.Items {
+				if !strings.Contains(p.Text, it) {
+					t.Errorf("list page text missing item %q", it)
+				}
+			}
+		} else {
+			prose++
+			if !strings.Contains(p.Text, "such as") && !strings.Contains(p.Text, "including") && !strings.Contains(p.Text, "like") {
+				t.Errorf("prose page lacks Hearst pattern: %q", p.Text)
+			}
+		}
+	}
+	if lists == 0 || prose == 0 {
+		t.Errorf("want both page kinds, got %d lists %d prose", lists, prose)
+	}
+}
+
+func TestGenerateStream(t *testing.T) {
+	w := Generate(smallConfig(), 7)
+	opt := DefaultStreamOptions(w)
+	opt.Posts = 300
+	posts := GenerateStream(w, opt)
+	if len(posts) != 300 {
+		t.Fatalf("posts = %d", len(posts))
+	}
+	withMention, ambiguous := 0, 0
+	for _, p := range posts {
+		if p.Day < opt.StartDay || p.Day >= opt.StartDay+opt.Days {
+			t.Fatalf("post day %d out of range", p.Day)
+		}
+		for _, m := range p.Mentions {
+			withMention++
+			if p.Text[m.Start:m.End] != m.Surface {
+				t.Fatalf("bad mention offsets: %+v in %q", m, p.Text)
+			}
+			if m.Surface == w.ProductLine[m.Entity] {
+				ambiguous++
+			}
+		}
+	}
+	if withMention == 0 {
+		t.Fatal("no product mentions in stream")
+	}
+	if ambiguous == 0 {
+		t.Error("stream should contain ambiguous line-word mentions")
+	}
+}
+
+func TestEntityByName(t *testing.T) {
+	w := Generate(smallConfig(), 7)
+	p := w.People[0]
+	if got := w.EntityByName(p.Name); got != p {
+		t.Errorf("EntityByName(%q) = %v", p.Name, got)
+	}
+	if got := w.EntityByName("No Such Person"); got != nil {
+		t.Errorf("unknown name should return nil, got %v", got)
+	}
+}
+
+func TestTruthTemporalScopes(t *testing.T) {
+	w := Generate(smallConfig(), 7)
+	// worksAt facts must carry bounded intervals in the truth store.
+	found := false
+	for _, f := range w.FactsOf(RelWorksAt) {
+		id, ok := w.Truth.FactOf(rdf.T(f.S, f.P, f.O))
+		if !ok {
+			t.Fatalf("gold fact missing from store: %+v", f)
+		}
+		info, _ := w.Truth.Info(id)
+		if info.Time.Begin != core.MinDay && info.Time.End != core.MaxDay {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no bounded temporal scopes found")
+	}
+}
+
+func containsStr(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

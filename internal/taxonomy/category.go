@@ -1,0 +1,230 @@
+// Package taxonomy implements §2 of the tutorial, "Harvesting Knowledge on
+// Entities and Classes": deciding which Wikipedia-style categories are
+// conceptual classes (the WikiTaxonomy / YAGO head-noun heuristics),
+// assigning entities to those classes, inducing the subclass hierarchy
+// from the category graph, and the Web-based alternative — set expansion
+// from seeds over list pages and Hearst patterns.
+package taxonomy
+
+import (
+	"sort"
+	"strings"
+
+	"kbharvest/internal/text"
+)
+
+// CategoryKind classifies a category title.
+type CategoryKind uint8
+
+const (
+	// Conceptual categories denote classes ("Physicists", "Cities in
+	// Fooland") — their members are instances.
+	Conceptual CategoryKind = iota
+	// Thematic categories denote topics ("Science", "History of X") —
+	// their members are merely related.
+	Thematic
+	// Administrative categories are wiki maintenance artifacts
+	// ("Articles needing cleanup").
+	Administrative
+)
+
+func (k CategoryKind) String() string {
+	switch k {
+	case Conceptual:
+		return "conceptual"
+	case Thematic:
+		return "thematic"
+	default:
+		return "administrative"
+	}
+}
+
+// Judgment is the analysis of one category title.
+type Judgment struct {
+	Category string
+	Kind     CategoryKind
+	// Head is the head noun of the pre-modifier segment ("Cities in
+	// Fooland" -> "Cities").
+	Head string
+	// ClassNoun is the singular class noun for conceptual categories
+	// ("Physicists" -> "physicist").
+	ClassNoun string
+}
+
+// adminHeads are head nouns marking maintenance categories.
+var adminHeads = map[string]bool{
+	"articles": true, "pages": true, "stubs": true, "templates": true,
+	"redirects": true, "lists": true, "disambiguation": true,
+}
+
+// Classify applies the head-noun heuristic of WikiTaxonomy/YAGO: take the
+// segment of the title before the first preposition, find its head noun;
+// administrative heads are filtered; a plural head noun signals a
+// conceptual (class) category; singular heads are thematic.
+func Classify(category string) Judgment {
+	j := Judgment{Category: category}
+	head := headNoun(category)
+	j.Head = head
+	lh := strings.ToLower(head)
+	switch {
+	case head == "":
+		j.Kind = Thematic
+	case adminHeads[lh] || containsAdminMarker(category):
+		j.Kind = Administrative
+	case isPluralNoun(lh):
+		j.Kind = Conceptual
+		j.ClassNoun = Singular(lh)
+	default:
+		j.Kind = Thematic
+	}
+	return j
+}
+
+// headNoun returns the last noun of the title segment before the first
+// preposition ("Cities in Fooland" -> "Cities"; "History of X" ->
+// "History").
+func headNoun(title string) string {
+	toks := text.Tokenize(title)
+	segment := toks
+	for i, t := range toks {
+		lw := strings.ToLower(t.Text)
+		if lw == "in" || lw == "of" || lw == "by" || lw == "from" || lw == "with" || lw == "for" {
+			segment = toks[:i]
+			break
+		}
+	}
+	for i := len(segment) - 1; i >= 0; i-- {
+		w := segment[i].Text
+		if isWordToken(w) {
+			return w
+		}
+	}
+	return ""
+}
+
+func isWordToken(w string) bool {
+	for _, r := range w {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '-') {
+			return false
+		}
+	}
+	return w != ""
+}
+
+func containsAdminMarker(title string) bool {
+	lt := strings.ToLower(title)
+	for _, marker := range []string{"wikipedia", "unsourced", "cleanup", "broken", "stub"} {
+		if strings.Contains(lt, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// irregularPlurals maps irregular plural heads to their singulars.
+var irregularPlurals = map[string]string{
+	"people": "person", "men": "man", "women": "woman",
+	"children": "child", "alumni": "alumnus",
+}
+
+// isPluralNoun is a morphological plural test adequate for category heads:
+// regular -s/-es/-ies plurals plus a small irregular table, rejecting
+// common false positives.
+func isPluralNoun(lw string) bool {
+	if _, ok := irregularPlurals[lw]; ok {
+		return true
+	}
+	if len(lw) < 3 || !strings.HasSuffix(lw, "s") {
+		return false
+	}
+	switch {
+	case strings.HasSuffix(lw, "ss"), strings.HasSuffix(lw, "us"),
+		strings.HasSuffix(lw, "is"), strings.HasSuffix(lw, "news"):
+		return false
+	}
+	return true
+}
+
+// Singular inverts the regular plural: "cities" -> "city", "boxes" ->
+// "box", "physicists" -> "physicist".
+func Singular(plural string) string {
+	lw := strings.ToLower(plural)
+	if s, ok := irregularPlurals[lw]; ok {
+		return s
+	}
+	switch {
+	case strings.HasSuffix(lw, "ies") && len(lw) > 3:
+		return lw[:len(lw)-3] + "y"
+	case strings.HasSuffix(lw, "ches"), strings.HasSuffix(lw, "shes"),
+		strings.HasSuffix(lw, "sses"), strings.HasSuffix(lw, "xes"):
+		return lw[:len(lw)-2]
+	case strings.HasSuffix(lw, "s"):
+		return lw[:len(lw)-1]
+	}
+	return lw
+}
+
+// Page is the slice of an article the harvester needs: who the page is
+// about and which categories it carries.
+type Page struct {
+	Subject    string // entity identifier
+	Categories []string
+}
+
+// TypeFact is one harvested instance-of assertion.
+type TypeFact struct {
+	Entity    string
+	ClassNoun string // singular class noun, e.g. "physicist"
+	Category  string // the category it came from
+}
+
+// HarvestTypes runs category analysis over pages and emits a type fact for
+// every (page, conceptual category) pair.
+func HarvestTypes(pages []Page) []TypeFact {
+	var out []TypeFact
+	for _, p := range pages {
+		for _, cat := range p.Categories {
+			j := Classify(cat)
+			if j.Kind == Conceptual {
+				out = append(out, TypeFact{Entity: p.Subject, ClassNoun: j.ClassNoun, Category: cat})
+			}
+		}
+	}
+	return out
+}
+
+// SubclassEdge is one induced subclass relation between class nouns.
+type SubclassEdge struct {
+	Sub, Super string // singular class nouns
+}
+
+// InduceSubclasses walks the category parent graph and keeps edges where
+// both endpoints are conceptual — the category-system projection of the
+// class taxonomy (§2).
+func InduceSubclasses(categoryParents map[string][]string) []SubclassEdge {
+	var out []SubclassEdge
+	seen := make(map[SubclassEdge]bool)
+	cats := make([]string, 0, len(categoryParents))
+	for c := range categoryParents {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, cat := range cats {
+		cj := Classify(cat)
+		if cj.Kind != Conceptual {
+			continue
+		}
+		for _, parent := range categoryParents[cat] {
+			pj := Classify(parent)
+			if pj.Kind != Conceptual || pj.ClassNoun == cj.ClassNoun {
+				continue
+			}
+			e := SubclassEdge{Sub: cj.ClassNoun, Super: pj.ClassNoun}
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}

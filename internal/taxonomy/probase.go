@@ -1,0 +1,114 @@
+package taxonomy
+
+import (
+	"sort"
+)
+
+// Probabilistic taxonomy in the style of Microsoft's Probase, which the
+// tutorial cites alongside the crisp taxonomies (§2): instead of hard
+// isA edges, class membership carries a plausibility score derived from
+// the frequency of supporting evidence (Hearst-pattern hits, list
+// co-occurrences). Downstream consumers ask "how plausible is it that
+// instance i is a c?" — P(c|i) estimated as n(i,c) / n(i) — and take the
+// most plausible class, which is robust against sporadic extraction
+// errors that would poison a crisp taxonomy.
+
+// Evidence is one observation that an instance belongs to a class.
+type Evidence struct {
+	Instance  string
+	ClassNoun string  // singular class noun
+	Weight    float64 // observation weight; 0 means 1
+}
+
+// ProbTaxonomy accumulates evidence and answers plausibility queries.
+type ProbTaxonomy struct {
+	counts map[string]map[string]float64 // instance -> class -> weight
+	totals map[string]float64            // instance -> total weight
+	classN map[string]float64            // class -> total weight (for size)
+}
+
+// NewProbTaxonomy returns an empty probabilistic taxonomy.
+func NewProbTaxonomy() *ProbTaxonomy {
+	return &ProbTaxonomy{
+		counts: map[string]map[string]float64{},
+		totals: map[string]float64{},
+		classN: map[string]float64{},
+	}
+}
+
+// Observe adds one piece of evidence.
+func (pt *ProbTaxonomy) Observe(ev Evidence) {
+	w := ev.Weight
+	if w <= 0 {
+		w = 1
+	}
+	if pt.counts[ev.Instance] == nil {
+		pt.counts[ev.Instance] = map[string]float64{}
+	}
+	pt.counts[ev.Instance][ev.ClassNoun] += w
+	pt.totals[ev.Instance] += w
+	pt.classN[ev.ClassNoun] += w
+}
+
+// ObserveHearst folds a batch of Hearst facts into the taxonomy.
+func (pt *ProbTaxonomy) ObserveHearst(facts []HearstFact) {
+	for _, f := range facts {
+		pt.Observe(Evidence{Instance: f.Instance, ClassNoun: f.ClassNoun})
+	}
+}
+
+// Plausibility returns P(class | instance) under the evidence, 0 if the
+// instance is unknown.
+func (pt *ProbTaxonomy) Plausibility(instance, classNoun string) float64 {
+	total := pt.totals[instance]
+	if total == 0 {
+		return 0
+	}
+	return pt.counts[instance][classNoun] / total
+}
+
+// ClassScore is one ranked class for an instance.
+type ClassScore struct {
+	ClassNoun    string
+	Plausibility float64
+	Support      float64 // raw evidence weight
+}
+
+// ClassesOf returns the instance's classes ranked by plausibility.
+func (pt *ProbTaxonomy) ClassesOf(instance string) []ClassScore {
+	classes := pt.counts[instance]
+	if len(classes) == 0 {
+		return nil
+	}
+	total := pt.totals[instance]
+	out := make([]ClassScore, 0, len(classes))
+	for c, w := range classes {
+		out = append(out, ClassScore{ClassNoun: c, Plausibility: w / total, Support: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Plausibility != out[j].Plausibility {
+			return out[i].Plausibility > out[j].Plausibility
+		}
+		return out[i].ClassNoun < out[j].ClassNoun
+	})
+	return out
+}
+
+// BestClass returns the most plausible class of an instance, requiring at
+// least minSupport evidence weight; ok is false otherwise.
+func (pt *ProbTaxonomy) BestClass(instance string, minSupport float64) (ClassScore, bool) {
+	ranked := pt.ClassesOf(instance)
+	if len(ranked) == 0 || ranked[0].Support < minSupport {
+		return ClassScore{}, false
+	}
+	return ranked[0], true
+}
+
+// Instances returns the number of instances with any evidence.
+func (pt *ProbTaxonomy) Instances() int { return len(pt.totals) }
+
+// ClassSize returns the total evidence weight behind a class — Probase's
+// proxy for class prominence ("company" outweighs "clarinet maker").
+func (pt *ProbTaxonomy) ClassSize(classNoun string) float64 {
+	return pt.classN[classNoun]
+}

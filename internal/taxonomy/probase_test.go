@@ -1,0 +1,109 @@
+package taxonomy
+
+import (
+	"math"
+	"testing"
+
+	"kbharvest/internal/synth"
+)
+
+func TestProbTaxonomyPlausibility(t *testing.T) {
+	pt := NewProbTaxonomy()
+	// "Jaguar" seen 8 times as animal, 2 times as car: P(animal)=0.8.
+	for i := 0; i < 8; i++ {
+		pt.Observe(Evidence{Instance: "Jaguar", ClassNoun: "animal"})
+	}
+	for i := 0; i < 2; i++ {
+		pt.Observe(Evidence{Instance: "Jaguar", ClassNoun: "car"})
+	}
+	if got := pt.Plausibility("Jaguar", "animal"); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("P(animal|Jaguar) = %v", got)
+	}
+	if got := pt.Plausibility("Jaguar", "car"); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("P(car|Jaguar) = %v", got)
+	}
+	if got := pt.Plausibility("Unknown", "animal"); got != 0 {
+		t.Errorf("unknown instance plausibility = %v", got)
+	}
+}
+
+func TestProbTaxonomyRanking(t *testing.T) {
+	pt := NewProbTaxonomy()
+	pt.Observe(Evidence{Instance: "X", ClassNoun: "a", Weight: 3})
+	pt.Observe(Evidence{Instance: "X", ClassNoun: "b", Weight: 1})
+	ranked := pt.ClassesOf("X")
+	if len(ranked) != 2 || ranked[0].ClassNoun != "a" {
+		t.Fatalf("ranking = %+v", ranked)
+	}
+	if ranked[0].Plausibility <= ranked[1].Plausibility {
+		t.Error("ranking not descending")
+	}
+	best, ok := pt.BestClass("X", 1)
+	if !ok || best.ClassNoun != "a" {
+		t.Errorf("BestClass = %+v, %v", best, ok)
+	}
+	// minSupport gate.
+	if _, ok := pt.BestClass("X", 10); ok {
+		t.Error("BestClass should respect minSupport")
+	}
+	if _, ok := pt.BestClass("unseen", 0); ok {
+		t.Error("unknown instance should report !ok")
+	}
+}
+
+func TestProbTaxonomyZeroWeightDefaults(t *testing.T) {
+	pt := NewProbTaxonomy()
+	pt.Observe(Evidence{Instance: "X", ClassNoun: "a", Weight: 0})
+	if pt.ClassSize("a") != 1 {
+		t.Errorf("zero weight should default to 1, got %v", pt.ClassSize("a"))
+	}
+	if pt.Instances() != 1 {
+		t.Errorf("Instances = %d", pt.Instances())
+	}
+}
+
+// On the synthetic web pages, Hearst evidence should concentrate on each
+// entity's true class: the probabilistic taxonomy's best class matches
+// gold for almost every instance with evidence.
+func TestProbTaxonomyFromHearstEvidence(t *testing.T) {
+	w := synth.Generate(synth.Config{
+		People: 60, Companies: 15, Cities: 10, Countries: 3,
+		Universities: 6, Products: 12, Prizes: 4,
+	}, 71)
+	pages := synth.BuildWebPages(w, 10, 72)
+	pt := NewProbTaxonomy()
+	for _, p := range pages {
+		if len(p.Items) > 0 {
+			continue
+		}
+		pt.ObserveHearst(ExtractHearst(p.Text))
+	}
+	if pt.Instances() == 0 {
+		t.Fatal("no evidence accumulated")
+	}
+	correct, total := 0, 0
+	for _, e := range w.Entities {
+		best, ok := pt.BestClass(e.Name, 1)
+		if !ok {
+			continue
+		}
+		total++
+		if best.ClassNoun == synth.ClassNoun(e.Class) {
+			correct++
+			continue
+		}
+		// Superclass answers also count (e.g. "scientist" for a chemist).
+		for _, super := range w.Truth.Superclasses(e.Class) {
+			if synth.ClassNoun(super) == best.ClassNoun {
+				correct++
+				break
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no instances classified")
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Errorf("probabilistic taxonomy accuracy = %.3f (%d/%d)", acc, correct, total)
+	}
+}

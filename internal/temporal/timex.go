@@ -1,0 +1,294 @@
+package temporal
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"kbharvest/internal/core"
+	"kbharvest/internal/text"
+)
+
+// Timex is one temporal expression found in text, normalized to the
+// interval of days it denotes.
+type Timex struct {
+	Start, End int    // byte offsets
+	Text       string // surface form
+	Interval   core.Interval
+	// Kind distinguishes points ("January 5, 2007", "2007") from ranges
+	// ("from 1998 to 2004") and open bounds ("since 1998").
+	Kind TimexKind
+}
+
+// TimexKind labels a temporal expression.
+type TimexKind uint8
+
+const (
+	// Point covers dates of any precision (day, month, year).
+	Point TimexKind = iota
+	// Range covers "from X to Y" / "between X and Y".
+	Range
+	// Since covers lower-bounded expressions ("since 1998").
+	Since
+	// Until covers upper-bounded expressions ("until 2004").
+	Until
+)
+
+func (k TimexKind) String() string {
+	switch k {
+	case Point:
+		return "point"
+	case Range:
+		return "range"
+	case Since:
+		return "since"
+	case Until:
+		return "until"
+	}
+	return "timex?"
+}
+
+// ExtractTimexes finds temporal expressions in a sentence: explicit dates
+// ("January 5, 2007", "2007-01-05"), bare years, and range constructions
+// over them.
+func ExtractTimexes(s string) []Timex {
+	toks := text.Tokenize(s)
+	var points []Timex
+	used := make([]bool, len(toks))
+
+	// Pass 1: multi-token dates "Month DD, YYYY" and "Month YYYY".
+	for i := 0; i < len(toks); i++ {
+		if used[i] {
+			continue
+		}
+		m, ok := MonthNames[strings.ToLower(toks[i].Text)]
+		if !ok {
+			continue
+		}
+		// Month DD , YYYY
+		if i+3 < len(toks) && isDayNum(toks[i+1].Text) && toks[i+2].Text == "," && isYear(toks[i+3].Text) {
+			d := Date{Year: atoi(toks[i+3].Text), Month: m, Day: atoi(toks[i+1].Text)}
+			if d.Valid() {
+				points = append(points, Timex{
+					Start: toks[i].Start, End: toks[i+3].End,
+					Text: s[toks[i].Start:toks[i+3].End], Interval: d.Interval(),
+				})
+				used[i], used[i+1], used[i+2], used[i+3] = true, true, true, true
+				continue
+			}
+		}
+		// Month YYYY
+		if i+1 < len(toks) && isYear(toks[i+1].Text) {
+			d := Date{Year: atoi(toks[i+1].Text), Month: m}
+			points = append(points, Timex{
+				Start: toks[i].Start, End: toks[i+1].End,
+				Text: s[toks[i].Start:toks[i+1].End], Interval: d.Interval(),
+			})
+			used[i], used[i+1] = true, true
+		}
+	}
+	// Pass 2: ISO dates, decades ("the 1990s"), and bare years.
+	for i, t := range toks {
+		if used[i] {
+			continue
+		}
+		if d, ok := parseISO(t.Text); ok {
+			points = append(points, Timex{
+				Start: t.Start, End: t.End, Text: t.Text, Interval: d.Interval(),
+			})
+			used[i] = true
+			continue
+		}
+		if decade, ok := parseDecade(t.Text); ok {
+			points = append(points, Timex{
+				Start: t.Start, End: t.End, Text: t.Text,
+				Interval: core.Interval{
+					Begin: Date{Year: decade}.Interval().Begin,
+					End:   Date{Year: decade + 9}.Interval().End,
+				},
+			})
+			used[i] = true
+			continue
+		}
+		if isYear(t.Text) {
+			d := Date{Year: atoi(t.Text)}
+			points = append(points, Timex{
+				Start: t.Start, End: t.End, Text: t.Text, Interval: d.Interval(),
+			})
+			used[i] = true
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Start < points[j].Start })
+
+	// Pass 3: combine points into ranges / open bounds using cue words.
+	wordBefore := func(off int) string {
+		j := off
+		for j > 0 && s[j-1] == ' ' {
+			j--
+		}
+		k := j
+		for k > 0 && s[k-1] != ' ' {
+			k--
+		}
+		if k < 0 || j < k {
+			return ""
+		}
+		return strings.ToLower(strings.Trim(s[k:j], ",."))
+	}
+	var out []Timex
+	skip := make(map[int]bool)
+	for i := 0; i < len(points); i++ {
+		if skip[i] {
+			continue
+		}
+		p := points[i]
+		cue := wordBefore(p.Start)
+		if (cue == "from" || cue == "between") && i+1 < len(points) {
+			mid := strings.ToLower(s[p.End:points[i+1].Start])
+			if strings.Contains(mid, " to ") || strings.Contains(mid, " and ") ||
+				strings.TrimSpace(mid) == "to" || strings.TrimSpace(mid) == "and" ||
+				strings.Contains(mid, "until") {
+				out = append(out, Timex{
+					Start: p.Start, End: points[i+1].End,
+					Text: s[p.Start:points[i+1].End],
+					Interval: core.Interval{
+						Begin: p.Interval.Begin,
+						End:   points[i+1].Interval.End,
+					},
+					Kind: Range,
+				})
+				skip[i+1] = true
+				continue
+			}
+		}
+		switch cue {
+		case "since":
+			out = append(out, Timex{
+				Start: p.Start, End: p.End, Text: p.Text,
+				Interval: core.Interval{Begin: p.Interval.Begin, End: core.MaxDay},
+				Kind:     Since,
+			})
+		case "until":
+			out = append(out, Timex{
+				Start: p.Start, End: p.End, Text: p.Text,
+				Interval: core.Interval{Begin: core.MinDay, End: p.Interval.End},
+				Kind:     Until,
+			})
+		default:
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// "from X to Y" where X's cue is "from": also handle "X until Y" ranges
+// rendered as "from 1998 until 2004" (cue from, mid until) — covered above.
+
+func isYear(s string) bool {
+	if len(s) != 4 || !allDigits(s) {
+		return false
+	}
+	y := atoi(s)
+	return y >= 1000 && y <= 2099
+}
+
+func isDayNum(s string) bool {
+	if len(s) == 0 || len(s) > 2 || !allDigits(s) {
+		return false
+	}
+	d := atoi(s)
+	return d >= 1 && d <= 31
+}
+
+// parseDecade recognizes "1990s" / "1990's", returning the decade's first
+// year.
+func parseDecade(s string) (int, bool) {
+	s = strings.TrimSuffix(s, "'s")
+	s = strings.TrimSuffix(s, "s")
+	if len(s) != 4 || !allDigits(s) {
+		return 0, false
+	}
+	y := atoi(s)
+	if y < 1000 || y > 2090 || y%10 != 0 {
+		return 0, false
+	}
+	return y, true
+}
+
+func parseISO(s string) (Date, bool) {
+	// YYYY-MM-DD or YYYY-MM.
+	parts := strings.Split(s, "-")
+	if len(parts) < 2 || len(parts) > 3 || len(parts[0]) != 4 {
+		return Date{}, false
+	}
+	for _, p := range parts {
+		if !allDigits(p) {
+			return Date{}, false
+		}
+	}
+	d := Date{Year: atoi(parts[0]), Month: atoi(parts[1])}
+	if len(parts) == 3 {
+		d.Day = atoi(parts[2])
+	}
+	if !d.Valid() || d.Month == 0 {
+		return Date{}, false
+	}
+	return d, true
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func atoi(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}
+
+// ScopeSentence infers the validity interval a sentence expresses for the
+// fact it states: a range/since/until wins over points; a single point
+// denotes its covered interval; several points denote their span. ok is
+// false when the sentence carries no temporal expression.
+func ScopeSentence(s string) (core.Interval, bool) {
+	txs := ExtractTimexes(s)
+	if len(txs) == 0 {
+		return core.Interval{}, false
+	}
+	for _, tx := range txs {
+		if tx.Kind == Range || tx.Kind == Since || tx.Kind == Until {
+			return tx.Interval, true
+		}
+	}
+	iv := txs[0].Interval
+	for _, tx := range txs[1:] {
+		iv = iv.Union(tx.Interval)
+	}
+	return iv, true
+}
+
+// AggregateScopes merges several observed intervals for the same fact into
+// one: the median of begins and the median of ends — robust against a
+// minority of mis-scoped sentences.
+func AggregateScopes(ivs []core.Interval) (core.Interval, bool) {
+	if len(ivs) == 0 {
+		return core.Interval{}, false
+	}
+	begins := make([]int, len(ivs))
+	ends := make([]int, len(ivs))
+	for i, iv := range ivs {
+		begins[i] = iv.Begin
+		ends[i] = iv.End
+	}
+	sort.Ints(begins)
+	sort.Ints(ends)
+	iv := core.Interval{Begin: begins[len(begins)/2], End: ends[len(ends)/2]}
+	if !iv.Valid() {
+		iv = core.Interval{Begin: iv.Begin, End: iv.Begin}
+	}
+	return iv, true
+}

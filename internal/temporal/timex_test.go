@@ -1,0 +1,195 @@
+package temporal
+
+import (
+	"testing"
+
+	"kbharvest/internal/core"
+)
+
+func TestExtractFullDate(t *testing.T) {
+	txs := ExtractTimexes("Alice was born on February 24, 1955 in Springfield.")
+	if len(txs) != 1 {
+		t.Fatalf("timexes = %+v", txs)
+	}
+	want := Date{1955, 2, 24}.Interval()
+	if txs[0].Interval != want || txs[0].Kind != Point {
+		t.Errorf("timex = %+v, want interval %v", txs[0], want)
+	}
+	if txs[0].Text != "February 24, 1955" {
+		t.Errorf("surface = %q", txs[0].Text)
+	}
+}
+
+func TestExtractMonthYear(t *testing.T) {
+	txs := ExtractTimexes("The product launched in March 2010.")
+	if len(txs) != 1 {
+		t.Fatalf("timexes = %+v", txs)
+	}
+	if txs[0].Interval != (Date{2010, 3, 0}).Interval() {
+		t.Errorf("interval = %v", txs[0].Interval)
+	}
+}
+
+func TestExtractBareYear(t *testing.T) {
+	txs := ExtractTimexes("Alice founded Acme in 1976.")
+	if len(txs) != 1 {
+		t.Fatalf("timexes = %+v", txs)
+	}
+	want := Date{Year: 1976}.Interval()
+	if txs[0].Interval != want {
+		t.Errorf("interval = %v, want %v", txs[0].Interval, want)
+	}
+}
+
+func TestExtractISO(t *testing.T) {
+	txs := ExtractTimexes("Recorded on 2007-01-09 at noon.")
+	if len(txs) != 1 {
+		t.Fatalf("timexes = %+v", txs)
+	}
+	if txs[0].Interval != (Date{2007, 1, 9}).Interval() {
+		t.Errorf("interval = %v", txs[0].Interval)
+	}
+}
+
+func TestExtractRange(t *testing.T) {
+	for _, s := range []string{
+		"From 1998 to 2004, Alice worked at Acme.",
+		"Alice worked at Acme from 1998 to 2004.",
+		"Alice led Acme between 1998 and 2004.",
+		"Alice worked at Acme from 1998 until 2004.",
+	} {
+		txs := ExtractTimexes(s)
+		if len(txs) != 1 {
+			t.Fatalf("%q: timexes = %+v", s, txs)
+		}
+		if txs[0].Kind != Range {
+			t.Errorf("%q: kind = %v", s, txs[0].Kind)
+		}
+		want := core.Interval{
+			Begin: Date{Year: 1998}.Interval().Begin,
+			End:   Date{Year: 2004}.Interval().End,
+		}
+		if txs[0].Interval != want {
+			t.Errorf("%q: interval = %v, want %v", s, txs[0].Interval, want)
+		}
+	}
+}
+
+func TestExtractSinceUntil(t *testing.T) {
+	txs := ExtractTimexes("Alice has led Acme since 2004.")
+	if len(txs) != 1 || txs[0].Kind != Since {
+		t.Fatalf("timexes = %+v", txs)
+	}
+	if txs[0].Interval.End != core.MaxDay {
+		t.Errorf("since should be open-ended: %v", txs[0].Interval)
+	}
+	txs = ExtractTimexes("Alice led Acme until 2004.")
+	if len(txs) != 1 || txs[0].Kind != Until {
+		t.Fatalf("timexes = %+v", txs)
+	}
+	if txs[0].Interval.Begin != core.MinDay {
+		t.Errorf("until should be open-beginning: %v", txs[0].Interval)
+	}
+}
+
+func TestExtractDecade(t *testing.T) {
+	txs := ExtractTimexes("The company grew rapidly during the 1990s.")
+	if len(txs) != 1 {
+		t.Fatalf("timexes = %+v", txs)
+	}
+	want := core.Interval{
+		Begin: Date{Year: 1990}.Interval().Begin,
+		End:   Date{Year: 1999}.Interval().End,
+	}
+	if txs[0].Interval != want {
+		t.Errorf("decade interval = %v, want %v", txs[0].Interval, want)
+	}
+	// Non-decade "1993s" should not parse as a decade.
+	if txs := ExtractTimexes("Model 1993s shipped."); len(txs) != 0 {
+		t.Errorf("false decade: %+v", txs)
+	}
+}
+
+func TestNoFalseYears(t *testing.T) {
+	for _, s := range []string{
+		"The phone sold 5000 units.",
+		"Room 0042 is closed.",
+		"It costs 3.99 dollars.",
+	} {
+		if txs := ExtractTimexes(s); len(txs) != 0 {
+			t.Errorf("%q: unexpected timexes %+v", s, txs)
+		}
+	}
+}
+
+func TestTimexKindString(t *testing.T) {
+	if Point.String() != "point" || Range.String() != "range" ||
+		Since.String() != "since" || Until.String() != "until" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestScopeSentence(t *testing.T) {
+	iv, ok := ScopeSentence("From 1998 to 2004, Alice worked at Acme.")
+	if !ok || iv.Begin != (Date{Year: 1998}).Interval().Begin {
+		t.Errorf("scope = %v, %v", iv, ok)
+	}
+	iv, ok = ScopeSentence("Alice founded Acme in 1976.")
+	if !ok || iv != (Date{Year: 1976}).Interval() {
+		t.Errorf("scope = %v, %v", iv, ok)
+	}
+	if _, ok := ScopeSentence("Alice founded Acme."); ok {
+		t.Error("no-timex sentence should report !ok")
+	}
+}
+
+func TestScopeSentenceMultiplePoints(t *testing.T) {
+	iv, ok := ScopeSentence("Alice joined in 1998 and left in 2004.")
+	if !ok {
+		t.Fatal("no scope")
+	}
+	if iv.Begin != (Date{Year: 1998}).Interval().Begin || iv.End != (Date{Year: 2004}).Interval().End {
+		t.Errorf("span = %v", iv)
+	}
+}
+
+// Property: ExtractTimexes never panics, offsets always slice validly,
+// and every interval is well-formed, on arbitrary noisy input.
+func TestExtractTimexesRobustQuick(t *testing.T) {
+	inputs := []string{
+		"", " ", "....", "1999 2000 2001 from to and since until",
+		"from until since between and 1850",
+		"January , 32, 99999 February 0 March -5",
+		"from 2004 to 1998", // inverted range
+		"én ünïcode 2010 tëxt",
+		"2007-13-40 2007-00 2007- -2007 20075",
+	}
+	for _, in := range inputs {
+		for _, tx := range ExtractTimexes(in) {
+			if tx.Start < 0 || tx.End > len(in) || tx.Start >= tx.End {
+				t.Errorf("%q: bad offsets %+v", in, tx)
+			}
+			if in[tx.Start:tx.End] != tx.Text {
+				t.Errorf("%q: text mismatch %+v", in, tx)
+			}
+		}
+	}
+}
+
+func TestAggregateScopes(t *testing.T) {
+	ivs := []core.Interval{
+		{Begin: 100, End: 200},
+		{Begin: 105, End: 195},
+		{Begin: 500, End: 600}, // outlier
+	}
+	iv, ok := AggregateScopes(ivs)
+	if !ok {
+		t.Fatal("no aggregate")
+	}
+	if iv.Begin != 105 || iv.End != 200 {
+		t.Errorf("aggregate = %v", iv)
+	}
+	if _, ok := AggregateScopes(nil); ok {
+		t.Error("empty aggregate should report !ok")
+	}
+}

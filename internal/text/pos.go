@@ -1,0 +1,331 @@
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Part-of-speech tagging with a compact Penn-Treebank-style tag set. The
+// tagger is lexicon-plus-rules: a closed-class lexicon, a verb lexicon
+// covering common relational verbs, morphological suffix heuristics, and a
+// handful of Brill-style contextual repair rules. Open IE and the pattern
+// extractors (§3) consume these tags.
+const (
+	TagDT  = "DT"  // determiner
+	TagNN  = "NN"  // noun, singular
+	TagNNS = "NNS" // noun, plural
+	TagNNP = "NNP" // proper noun
+	TagVB  = "VB"  // verb, base
+	TagVBD = "VBD" // verb, past
+	TagVBZ = "VBZ" // verb, 3sg present
+	TagVBP = "VBP" // verb, non-3sg present
+	TagVBG = "VBG" // verb, gerund
+	TagVBN = "VBN" // verb, past participle
+	TagIN  = "IN"  // preposition / subordinating conjunction
+	TagJJ  = "JJ"  // adjective
+	TagRB  = "RB"  // adverb
+	TagCC  = "CC"  // coordinating conjunction
+	TagCD  = "CD"  // cardinal number
+	TagPRP = "PRP" // pronoun
+	TagTO  = "TO"  // "to"
+	TagMD  = "MD"  // modal
+	TagWP  = "WP"  // wh-pronoun
+	TagPct = "."   // punctuation
+)
+
+// TaggedToken is a token with its part-of-speech tag.
+type TaggedToken struct {
+	Token
+	Tag string
+}
+
+var closedClass = map[string]string{
+	"the": TagDT, "a": TagDT, "an": TagDT, "this": TagDT, "that": TagDT,
+	"these": TagDT, "those": TagDT, "every": TagDT, "some": TagDT,
+	"no": TagDT, "each": TagDT, "its": TagDT, "his": TagDT, "her": TagDT,
+	"their": TagDT, "any": TagDT,
+
+	"of": TagIN, "in": TagIN, "on": TagIN, "at": TagIN, "by": TagIN,
+	"with": TagIN, "from": TagIN, "into": TagIN, "through": TagIN,
+	"during": TagIN, "before": TagIN, "after": TagIN, "between": TagIN,
+	"under": TagIN, "over": TagIN, "about": TagIN, "against": TagIN,
+	"as": TagIN, "since": TagIN, "until": TagIN, "near": TagIN,
+	"for": TagIN,
+
+	"and": TagCC, "or": TagCC, "but": TagCC, "nor": TagCC, "yet": TagCC,
+
+	"he": TagPRP, "she": TagPRP, "it": TagPRP, "they": TagPRP, "we": TagPRP,
+	"i": TagPRP, "you": TagPRP, "him": TagPRP, "them": TagPRP, "us": TagPRP,
+
+	"who": TagWP, "whom": TagWP, "which": TagWP, "what": TagWP,
+	"whose": TagWP, "where": TagWP, "when": TagWP,
+
+	"to": TagTO,
+
+	"will": TagMD, "would": TagMD, "can": TagMD, "could": TagMD,
+	"may": TagMD, "might": TagMD, "shall": TagMD, "should": TagMD,
+	"must": TagMD,
+
+	"is": TagVBZ, "are": TagVBP, "was": TagVBD, "were": TagVBD,
+	"be": TagVB, "been": TagVBN, "being": TagVBG, "am": TagVBP,
+	"has": TagVBZ, "have": TagVBP, "had": TagVBD, "having": TagVBG,
+	"does": TagVBZ, "do": TagVBP, "did": TagVBD,
+
+	"not": TagRB, "also": TagRB, "very": TagRB, "often": TagRB,
+	"usually": TagRB, "never": TagRB, "always": TagRB, "later": TagRB,
+	"now": TagRB, "then": TagRB, "there": TagRB, "here": TagRB,
+	"still": TagRB, "already": TagRB, "together": TagRB,
+}
+
+// verbLemmas lists base forms of verbs; inflections are recognized
+// morphologically. It covers the relational verbs common in encyclopedic
+// text (and used by the synthetic corpus generator).
+var verbLemmas = map[string]bool{
+	"found": true, "establish": true, "create": true, "start": true,
+	"acquire": true, "buy": true, "purchase": true, "merge": true,
+	"marry": true, "wed": true, "divorce": true, "bear": true,
+	"locate": true, "headquarter": true, "base": true, "situate": true,
+	"release": true, "launch": true, "announce": true, "unveil": true,
+	"introduce": true, "develop": true, "design": true, "produce": true,
+	"make": true, "build": true, "manufacture": true, "invent": true,
+	"graduate": true, "study": true, "attend": true, "enroll": true,
+	"work": true, "serve": true, "join": true, "leave": true, "lead": true,
+	"head": true, "direct": true, "manage": true, "run": true,
+	"win": true, "receive": true, "earn": true, "award": true,
+	"move": true, "relocate": true, "live": true, "reside": true,
+	"die": true, "play": true, "perform": true, "star": true,
+	"write": true, "author": true, "publish": true, "compose": true,
+	"know": true, "call": true, "name": true, "say": true, "report": true,
+	"meet": true, "get": true, "give": true, "take": true, "show": true,
+	"become": true, "remain": true, "grow": true, "expand": true,
+	"employ": true, "hire": true, "appoint": true, "elect": true,
+	"succeed": true, "replace": true, "own": true, "hold": true,
+	"sell": true, "ship": true, "unlock": true, "love": true,
+	"like": true, "prefer": true, "use": true, "compare": true,
+	"tweet": true, "post": true, "review": true, "criticize": true,
+	"praise": true, "support": true,
+}
+
+// irregularPast maps irregular past/participle forms to their lemmas.
+var irregularPast = map[string]string{
+	"founded": "found", "found": "find", "bought": "buy", "wed": "wed",
+	"born": "bear", "bore": "bear", "led": "lead", "ran": "run",
+	"won": "win", "wrote": "write", "written": "write", "made": "make",
+	"built": "build", "left": "leave", "grew": "grow", "grown": "grow",
+	"became": "become", "held": "hold", "sold": "sell", "knew": "know",
+	"known": "know", "said": "say", "died": "die", "got": "get",
+	"met": "meet", "gave": "give", "given": "give", "took": "take",
+	"taken": "take", "showed": "show", "shown": "show",
+}
+
+// Tag assigns a part-of-speech tag to every token of a tokenized sentence.
+func Tag(tokens []Token) []TaggedToken {
+	out := make([]TaggedToken, len(tokens))
+	for i, tok := range tokens {
+		out[i] = TaggedToken{Token: tok, Tag: lexTag(tok.Text, i == 0)}
+	}
+	applyContextRules(out)
+	return out
+}
+
+// TagWords is Tag over a plain word slice (offsets are word indexes).
+func TagWords(words []string) []TaggedToken {
+	toks := make([]Token, len(words))
+	for i, w := range words {
+		toks[i] = Token{Text: w, Start: i, End: i + 1}
+	}
+	return Tag(toks)
+}
+
+// lexTag assigns the context-free tag for one token.
+func lexTag(w string, sentenceInitial bool) string {
+	if w == "" {
+		return TagPct
+	}
+	r := rune(w[0])
+	if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+		return TagPct
+	}
+	if isNumeric(w) {
+		return TagCD
+	}
+	lw := lower(w)
+	if tag, ok := closedClass[lw]; ok {
+		return tag
+	}
+	// Capitalized (not sentence-initial closed-class) -> proper noun.
+	if unicode.IsUpper(r) {
+		if !sentenceInitial {
+			return TagNNP
+		}
+		// Sentence-initially, treat as NNP only if it is not a known
+		// common word shape.
+		if !verbLemmas[lw] && !looksCommon(lw) {
+			return TagNNP
+		}
+	}
+	// Verb morphology against the lemma lexicon.
+	if _, ok := irregularPast[lw]; ok {
+		return TagVBD
+	}
+	if verbLemmas[lw] {
+		return TagVBP
+	}
+	if strings.HasSuffix(lw, "ed") && len(lw) > 3 {
+		if verbLemmas[strings.TrimSuffix(lw, "ed")] || verbLemmas[strings.TrimSuffix(lw, "d")] ||
+			verbLemmas[undouble(strings.TrimSuffix(lw, "ed"))] || verbLemmas[unY(strings.TrimSuffix(lw, "ied"))] {
+			return TagVBD
+		}
+	}
+	if strings.HasSuffix(lw, "ing") && len(lw) > 4 {
+		base := strings.TrimSuffix(lw, "ing")
+		if verbLemmas[base] || verbLemmas[base+"e"] || verbLemmas[undouble(base)] {
+			return TagVBG
+		}
+	}
+	// Adjective/adverb suffixes (checked before the plural-s rule so that
+	// "famous" is not misread as a plural noun).
+	switch {
+	case strings.HasSuffix(lw, "ly") && len(lw) > 4:
+		return TagRB
+	case strings.HasSuffix(lw, "ous"), strings.HasSuffix(lw, "ful"),
+		strings.HasSuffix(lw, "able"), strings.HasSuffix(lw, "ible"),
+		strings.HasSuffix(lw, "ive"), strings.HasSuffix(lw, "ical"),
+		strings.HasSuffix(lw, "ish"), strings.HasSuffix(lw, "less"):
+		return TagJJ
+	}
+	if strings.HasSuffix(lw, "s") && !strings.HasSuffix(lw, "ss") && len(lw) > 2 {
+		base := strings.TrimSuffix(lw, "s")
+		if verbLemmas[base] || verbLemmas[strings.TrimSuffix(lw, "es")] || verbLemmas[unY(strings.TrimSuffix(lw, "ies"))] {
+			return TagVBZ
+		}
+		return TagNNS
+	}
+	return TagNN
+}
+
+// looksCommon reports whether a lowercase word has a very common
+// common-noun/adjective shape, to reduce sentence-initial NNP errors.
+func looksCommon(lw string) bool {
+	return stopwords[lw] || strings.HasSuffix(lw, "tion") || strings.HasSuffix(lw, "ity")
+}
+
+// applyContextRules repairs tags using neighboring context (Brill-style).
+func applyContextRules(ts []TaggedToken) {
+	for i := range ts {
+		lw := lower(ts[i].Text)
+		// TO + verb-or-noun -> base verb ("to found a company").
+		if i > 0 && ts[i-1].Tag == TagTO && (ts[i].Tag == TagNN || ts[i].Tag == TagVBP || ts[i].Tag == TagVBD) && verbLemmas[lw] {
+			ts[i].Tag = TagVB
+		}
+		// MD + anything verbal -> base verb.
+		if i > 0 && ts[i-1].Tag == TagMD && (ts[i].Tag == TagVBP || ts[i].Tag == TagVBD || ts[i].Tag == TagNN) && verbLemmas[lw] {
+			ts[i].Tag = TagVB
+		}
+		// have/has/had + VBD -> VBN ("has acquired").
+		if i > 0 && isHave(lower(ts[i-1].Text)) && ts[i].Tag == TagVBD {
+			ts[i].Tag = TagVBN
+		}
+		// be-form + VBD -> VBN ("was founded", "is located").
+		if i > 0 && isBe(lower(ts[i-1].Text)) && ts[i].Tag == TagVBD {
+			ts[i].Tag = TagVBN
+		}
+		// be-form + RB + VBD -> VBN ("was originally founded").
+		if i > 1 && isBe(lower(ts[i-2].Text)) && ts[i-1].Tag == TagRB && ts[i].Tag == TagVBD {
+			ts[i].Tag = TagVBN
+		}
+		// DT + VB* that could be a noun -> NN ("the work", "a run").
+		if i > 0 && ts[i-1].Tag == TagDT && (ts[i].Tag == TagVBP || ts[i].Tag == TagVB) {
+			ts[i].Tag = TagNN
+		}
+	}
+}
+
+func isBe(w string) bool {
+	switch w {
+	case "is", "are", "was", "were", "be", "been", "being", "am":
+		return true
+	}
+	return false
+}
+
+func isHave(w string) bool {
+	switch w {
+	case "have", "has", "had", "having":
+		return true
+	}
+	return false
+}
+
+func isNumeric(w string) bool {
+	digits := 0
+	for _, r := range w {
+		if unicode.IsDigit(r) {
+			digits++
+		} else if r != ',' && r != '.' && r != '-' {
+			return false
+		}
+	}
+	return digits > 0
+}
+
+func undouble(s string) string {
+	if len(s) >= 2 && s[len(s)-1] == s[len(s)-2] {
+		return s[:len(s)-1]
+	}
+	return s
+}
+
+func unY(s string) string {
+	if s == "" {
+		return s
+	}
+	return s + "y"
+}
+
+// Lemma returns the base form of a verb token given its tag, using the
+// irregular table and simple de-inflection; for non-verbs it returns the
+// lowercase word.
+func Lemma(word, tag string) string {
+	lw := lower(word)
+	if isBe(lw) {
+		return "be"
+	}
+	switch tag {
+	case TagVBD, TagVBN:
+		if base, ok := irregularPast[lw]; ok {
+			return base
+		}
+		for _, try := range []string{
+			strings.TrimSuffix(lw, "ed"),
+			strings.TrimSuffix(lw, "d"),
+			undouble(strings.TrimSuffix(lw, "ed")),
+			unY(strings.TrimSuffix(lw, "ied")),
+		} {
+			if verbLemmas[try] {
+				return try
+			}
+		}
+		return lw
+	case TagVBZ:
+		for _, try := range []string{
+			strings.TrimSuffix(lw, "s"),
+			strings.TrimSuffix(lw, "es"),
+			unY(strings.TrimSuffix(lw, "ies")),
+		} {
+			if verbLemmas[try] {
+				return try
+			}
+		}
+		return strings.TrimSuffix(lw, "s")
+	case TagVBG:
+		base := strings.TrimSuffix(lw, "ing")
+		for _, try := range []string{base, base + "e", undouble(base)} {
+			if verbLemmas[try] {
+				return try
+			}
+		}
+		return base
+	}
+	return lw
+}

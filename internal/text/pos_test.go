@@ -1,0 +1,169 @@
+package text
+
+import (
+	"strings"
+	"testing"
+)
+
+func tagsOf(sentence string) ([]string, []string) {
+	ts := Tag(Tokenize(sentence))
+	words := make([]string, len(ts))
+	tags := make([]string, len(ts))
+	for i, t := range ts {
+		words[i] = t.Text
+		tags[i] = t.Tag
+	}
+	return words, tags
+}
+
+func TestTagSimpleSentence(t *testing.T) {
+	words, tags := tagsOf("Steve Jobs founded Apple in 1976 .")
+	want := map[string]string{
+		"Steve": TagNNP, "Jobs": TagNNP, "founded": TagVBD,
+		"Apple": TagNNP, "in": TagIN, "1976": TagCD, ".": TagPct,
+	}
+	for i, w := range words {
+		if want[w] != "" && tags[i] != want[w] {
+			t.Errorf("tag(%q) = %s, want %s", w, tags[i], want[w])
+		}
+	}
+}
+
+func TestTagPassive(t *testing.T) {
+	words, tags := tagsOf("Apple was founded by Steve Jobs")
+	for i, w := range words {
+		if w == "founded" && tags[i] != TagVBN {
+			t.Errorf("passive 'founded' tagged %s, want VBN", tags[i])
+		}
+		if w == "was" && tags[i] != TagVBD {
+			t.Errorf("'was' tagged %s", tags[i])
+		}
+	}
+}
+
+func TestTagPassiveWithAdverb(t *testing.T) {
+	_, tags := tagsOf("The company was originally founded in Cupertino")
+	joined := strings.Join(tags, " ")
+	if !strings.Contains(joined, TagVBN) {
+		t.Errorf("expected VBN in %v", tags)
+	}
+}
+
+func TestTagPerfect(t *testing.T) {
+	words, tags := tagsOf("Apple has acquired the startup")
+	for i, w := range words {
+		if w == "acquired" && tags[i] != TagVBN {
+			t.Errorf("'acquired' after has tagged %s, want VBN", tags[i])
+		}
+	}
+}
+
+func TestTagInfinitive(t *testing.T) {
+	words, tags := tagsOf("He wants to found a company")
+	for i, w := range words {
+		if w == "found" && tags[i] != TagVB {
+			t.Errorf("'to found' tagged %s, want VB", tags[i])
+		}
+	}
+}
+
+func TestTagClosedClass(t *testing.T) {
+	cases := map[string]string{
+		"the": TagDT, "of": TagIN, "and": TagCC, "he": TagPRP,
+		"to": TagTO, "would": TagMD, "who": TagWP,
+	}
+	for w, want := range cases {
+		_, tags := tagsOf("x " + w + " x") // mid-sentence
+		if tags[1] != want {
+			t.Errorf("tag(%q) = %s, want %s", w, tags[1], want)
+		}
+	}
+}
+
+func TestTagMorphology(t *testing.T) {
+	cases := map[string]string{
+		"companies":  TagNNS,
+		"quickly":    TagRB,
+		"famous":     TagJJ,
+		"acquires":   TagVBZ,
+		"developing": TagVBG,
+		"3,000":      TagCD,
+		"42":         TagCD,
+	}
+	for w, want := range cases {
+		_, tags := tagsOf("it " + w + " it")
+		if tags[1] != want {
+			t.Errorf("tag(%q) = %s, want %s", w, tags[1], want)
+		}
+	}
+}
+
+func TestTagProperMidSentence(t *testing.T) {
+	_, tags := tagsOf("the Galaxy phone")
+	if tags[1] != TagNNP {
+		t.Errorf("mid-sentence capitalized word tagged %s, want NNP", tags[1])
+	}
+}
+
+func TestTagDeterminerNoun(t *testing.T) {
+	words, tags := tagsOf("He admired the work of the team")
+	for i, w := range words {
+		if w == "work" && tags[i] != TagNN {
+			t.Errorf("'the work' tagged %s, want NN", tags[i])
+		}
+	}
+}
+
+func TestTagWords(t *testing.T) {
+	ts := TagWords([]string{"Apple", "acquired", "NeXT"})
+	if len(ts) != 3 || ts[1].Tag != TagVBD {
+		t.Errorf("TagWords = %+v", ts)
+	}
+}
+
+func TestLemma(t *testing.T) {
+	cases := []struct{ word, tag, want string }{
+		{"founded", TagVBD, "found"},
+		{"acquired", TagVBD, "acquire"},
+		{"acquires", TagVBZ, "acquire"},
+		{"acquiring", TagVBG, "acquire"},
+		{"married", TagVBD, "marry"},
+		{"won", TagVBD, "win"},
+		{"written", TagVBN, "write"},
+		{"releases", TagVBZ, "release"},
+		{"developing", TagVBG, "develop"},
+		{"Apple", TagNNP, "apple"},
+	}
+	for _, c := range cases {
+		if got := Lemma(c.word, c.tag); got != c.want {
+			t.Errorf("Lemma(%q,%s) = %q, want %q", c.word, c.tag, got, c.want)
+		}
+	}
+}
+
+func TestIsStopwordAndContentWords(t *testing.T) {
+	if !IsStopword("The") || IsStopword("Apple") {
+		t.Error("stopword check wrong")
+	}
+	got := ContentWords("The quick brown fox, it jumped over 3 lazy dogs!")
+	for _, w := range got {
+		if IsStopword(w) {
+			t.Errorf("stopword %q leaked into content words", w)
+		}
+	}
+	if contains(got, "3") {
+		t.Error("numbers should be excluded from content words")
+	}
+	if !contains(got, "quick") || !contains(got, "fox") {
+		t.Errorf("content words missing: %v", got)
+	}
+}
+
+func TestContentStems(t *testing.T) {
+	got := ContentStems("connected connection connects")
+	for _, s := range got[1:] {
+		if s != got[0] {
+			t.Errorf("stems differ: %v", got)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package text
+
+import "strings"
+
+// Stem implements the Porter stemming algorithm (Porter 1980), used to
+// conflate word forms when building context vectors for NED and keyphrase
+// matching (§4). The implementation follows the original five-step
+// description.
+func Stem(word string) string {
+	w := strings.ToLower(word)
+	if len(w) <= 2 {
+		return w
+	}
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return w
+}
+
+// isCons reports whether w[i] is a consonant in Porter's sense.
+func isCons(w string, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	}
+	return true
+}
+
+// measure returns Porter's m: the number of VC sequences in w.
+func measure(w string) int {
+	n := 0
+	i := 0
+	// Skip initial consonants.
+	for i < len(w) && isCons(w, i) {
+		i++
+	}
+	for i < len(w) {
+		// Vowel run.
+		for i < len(w) && !isCons(w, i) {
+			i++
+		}
+		if i >= len(w) {
+			break
+		}
+		// Consonant run -> one VC.
+		for i < len(w) && isCons(w, i) {
+			i++
+		}
+		n++
+	}
+	return n
+}
+
+func containsVowel(w string) bool {
+	for i := range w {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+func endsDoubleCons(w string) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isCons(w, n-1)
+}
+
+// endsCVC reports whether w ends consonant-vowel-consonant where the final
+// consonant is not w, x, or y.
+func endsCVC(w string) bool {
+	n := len(w)
+	if n < 3 {
+		return false
+	}
+	if !isCons(w, n-3) || isCons(w, n-2) || !isCons(w, n-1) {
+		return false
+	}
+	switch w[n-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func step1a(w string) string {
+	switch {
+	case strings.HasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ss"):
+		return w
+	case strings.HasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w string) string {
+	if strings.HasSuffix(w, "eed") {
+		if measure(w[:len(w)-3]) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	var stem string
+	switch {
+	case strings.HasSuffix(w, "ed") && containsVowel(w[:len(w)-2]):
+		stem = w[:len(w)-2]
+	case strings.HasSuffix(w, "ing") && containsVowel(w[:len(w)-3]):
+		stem = w[:len(w)-3]
+	default:
+		return w
+	}
+	switch {
+	case strings.HasSuffix(stem, "at"), strings.HasSuffix(stem, "bl"), strings.HasSuffix(stem, "iz"):
+		return stem + "e"
+	case endsDoubleCons(stem) && !strings.HasSuffix(stem, "l") && !strings.HasSuffix(stem, "s") && !strings.HasSuffix(stem, "z"):
+		return stem[:len(stem)-1]
+	case measure(stem) == 1 && endsCVC(stem):
+		return stem + "e"
+	}
+	return stem
+}
+
+func step1c(w string) string {
+	if strings.HasSuffix(w, "y") && containsVowel(w[:len(w)-1]) {
+		return w[:len(w)-1] + "i"
+	}
+	return w
+}
+
+var step2Rules = []struct{ suffix, repl string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(w string) string {
+	for _, r := range step2Rules {
+		if strings.HasSuffix(w, r.suffix) {
+			stem := w[:len(w)-len(r.suffix)]
+			if measure(stem) > 0 {
+				return stem + r.repl
+			}
+			return w
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ suffix, repl string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(w string) string {
+	for _, r := range step3Rules {
+		if strings.HasSuffix(w, r.suffix) {
+			stem := w[:len(w)-len(r.suffix)]
+			if measure(stem) > 0 {
+				return stem + r.repl
+			}
+			return w
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w string) string {
+	for _, suf := range step4Suffixes {
+		if strings.HasSuffix(w, suf) {
+			stem := w[:len(w)-len(suf)]
+			if measure(stem) <= 1 {
+				return w
+			}
+			if suf == "ion" && !strings.HasSuffix(stem, "s") && !strings.HasSuffix(stem, "t") {
+				return w
+			}
+			return stem
+		}
+	}
+	return w
+}
+
+func step5a(w string) string {
+	if strings.HasSuffix(w, "e") {
+		stem := w[:len(w)-1]
+		m := measure(stem)
+		if m > 1 || (m == 1 && !endsCVC(stem)) {
+			return stem
+		}
+	}
+	return w
+}
+
+func step5b(w string) string {
+	if measure(w) > 1 && endsDoubleCons(w) && strings.HasSuffix(w, "l") {
+		return w[:len(w)-1]
+	}
+	return w
+}

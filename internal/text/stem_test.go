@@ -1,0 +1,154 @@
+package text
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStemKnownPairs(t *testing.T) {
+	// Classic Porter examples plus the forms our pipeline actually meets.
+	cases := map[string]string{
+		"caresses":     "caress",
+		"ponies":       "poni",
+		"ties":         "ti",
+		"caress":       "caress",
+		"cats":         "cat",
+		"feed":         "feed",
+		"agreed":       "agre",
+		"plastered":    "plaster",
+		"bled":         "bled",
+		"motoring":     "motor",
+		"sing":         "sing",
+		"conflated":    "conflat",
+		"troubled":     "troubl",
+		"sized":        "size",
+		"hopping":      "hop",
+		"tanned":       "tan",
+		"falling":      "fall",
+		"hissing":      "hiss",
+		"fizzed":       "fizz",
+		"failing":      "fail",
+		"filing":       "file",
+		"happy":        "happi",
+		"sky":          "sky",
+		"relational":   "relat",
+		"conditional":  "condit",
+		"rational":     "ration",
+		"valenci":      "valenc",
+		"digitizer":    "digit",
+		"operator":     "oper",
+		"feudalism":    "feudal",
+		"decisiveness": "decis",
+		"hopefulness":  "hope",
+		"formaliti":    "formal",
+		"formalize":    "formal",
+		"electriciti":  "electr",
+		"electrical":   "electr",
+		"hopeful":      "hope",
+		"goodness":     "good",
+		"revival":      "reviv",
+		"allowance":    "allow",
+		"inference":    "infer",
+		"airliner":     "airlin",
+		"adjustable":   "adjust",
+		"defensible":   "defens",
+		"irritant":     "irrit",
+		"replacement":  "replac",
+		"adjustment":   "adjust",
+		"dependent":    "depend",
+		"adoption":     "adopt",
+		"communism":    "commun",
+		"activate":     "activ",
+		"angulariti":   "angular",
+		"homologous":   "homolog",
+		"effective":    "effect",
+		"bowdlerize":   "bowdler",
+		"probate":      "probat",
+		"rate":         "rate",
+		"cease":        "ceas",
+		"controll":     "control",
+		"roll":         "roll",
+		"founded":      "found",
+		"companies":    "compani",
+		"acquisition":  "acquisit",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemConflatesForms(t *testing.T) {
+	groups := [][]string{
+		{"connect", "connected", "connecting", "connection", "connections"},
+		{"found", "founded", "founding"},
+		{"acquire", "acquired", "acquires", "acquiring"},
+	}
+	for _, g := range groups {
+		base := Stem(g[0])
+		for _, w := range g[1:] {
+			if got := Stem(w); got != base {
+				t.Errorf("Stem(%q) = %q, want %q (conflation with %q)", w, got, base, g[0])
+			}
+		}
+	}
+}
+
+func TestStemShortWords(t *testing.T) {
+	for _, w := range []string{"", "a", "of", "be"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, short words should be untouched", w, got)
+		}
+	}
+}
+
+func TestStemLowercases(t *testing.T) {
+	if Stem("Connected") != Stem("connected") {
+		t.Error("stemming should be case-insensitive")
+	}
+}
+
+// Properties: stemming never grows a word (beyond the lowercase mapping) by
+// more than one char (the +e restoration), never panics, and is idempotent
+// on its own output for ASCII words.
+func TestStemPropertiesQuick(t *testing.T) {
+	f := func(s string) bool {
+		// Restrict to plausible word shapes.
+		if len(s) > 30 {
+			s = s[:30]
+		}
+		clean := make([]byte, 0, len(s))
+		for i := 0; i < len(s); i++ {
+			c := s[i] | 0x20
+			if c >= 'a' && c <= 'z' {
+				clean = append(clean, c)
+			}
+		}
+		w := string(clean)
+		st := Stem(w)
+		if len(st) > len(w)+1 {
+			return false
+		}
+		// Applying Stem twice equals applying once for the overwhelming
+		// majority of words; require only that it terminates and shrinks
+		// monotonically.
+		return len(Stem(st)) <= len(st)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	cases := map[string]int{
+		"tr": 0, "ee": 0, "tree": 0, "y": 0, "by": 0,
+		"trouble": 1, "oats": 1, "trees": 1, "ivy": 1,
+		"troubles": 2, "private": 2, "oaten": 2,
+	}
+	for w, want := range cases {
+		if got := measure(w); got != want {
+			t.Errorf("measure(%q) = %d, want %d", w, got, want)
+		}
+	}
+}

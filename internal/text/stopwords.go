@@ -1,0 +1,91 @@
+package text
+
+// stopwords is a compact English stopword list used when building context
+// vectors and keyphrase sets; function words carry no entity-discriminating
+// signal.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "and": true, "or": true, "but": true,
+	"if": true, "then": true, "else": true, "when": true, "while": true,
+	"of": true, "at": true, "by": true, "for": true, "with": true,
+	"about": true, "against": true, "between": true, "into": true,
+	"through": true, "during": true, "before": true, "after": true,
+	"above": true, "below": true, "to": true, "from": true, "up": true,
+	"down": true, "in": true, "out": true, "on": true, "off": true,
+	"over": true, "under": true, "again": true, "further": true,
+	"once": true, "here": true, "there": true, "where": true, "why": true,
+	"how": true, "all": true, "any": true, "both": true, "each": true,
+	"few": true, "more": true, "most": true, "other": true, "some": true,
+	"such": true, "no": true, "nor": true, "not": true, "only": true,
+	"own": true, "same": true, "so": true, "than": true, "too": true,
+	"very": true, "can": true, "will": true, "just": true, "should": true,
+	"now": true, "is": true, "am": true, "are": true, "was": true,
+	"were": true, "be": true, "been": true, "being": true, "have": true,
+	"has": true, "had": true, "having": true, "do": true, "does": true,
+	"did": true, "doing": true, "would": true, "could": true, "ought": true,
+	"i": true, "me": true, "my": true, "we": true, "our": true, "you": true,
+	"your": true, "he": true, "him": true, "his": true, "she": true,
+	"her": true, "it": true, "its": true, "they": true, "them": true,
+	"their": true, "what": true, "which": true, "who": true, "whom": true,
+	"this": true, "that": true, "these": true, "those": true, "as": true,
+	"until": true, "because": true, "also": true, "however": true,
+}
+
+// IsStopword reports whether the lowercase form of w is a stopword.
+func IsStopword(w string) bool { return stopwords[lower(w)] }
+
+// ContentWords returns the non-stopword, alphabetic tokens of s,
+// lowercased.
+func ContentWords(s string) []string {
+	var out []string
+	for _, t := range Tokenize(s) {
+		w := lower(t.Text)
+		if stopwords[w] || !isAlphaWord(w) {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// ContentStems returns Porter stems of the content words of s.
+func ContentStems(s string) []string {
+	ws := ContentWords(s)
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = Stem(w)
+	}
+	return out
+}
+
+func isAlphaWord(w string) bool {
+	if w == "" {
+		return false
+	}
+	for _, r := range w {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '-' || r == '\'') {
+			return false
+		}
+	}
+	return true
+}
+
+func lower(s string) string {
+	// ASCII fast path.
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			hasUpper = true
+			break
+		}
+	}
+	if !hasUpper {
+		return s
+	}
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
