@@ -83,6 +83,48 @@ func BenchmarkStoreAdd(b *testing.B) {
 	}
 }
 
+// benchTriples pre-generates n distinct-ish triples so the ingestion
+// benchmarks below measure store work, not fmt.Sprintf.
+func benchTriples(n int) []rdf.Triple {
+	ts := make([]rdf.Triple, n)
+	for i := range ts {
+		ts[i] = rdf.T(
+			fmt.Sprintf("kb:e%d", i%100000),
+			fmt.Sprintf("kb:r%d", i%50),
+			fmt.Sprintf("kb:e%d", (i/50)%100000+100000),
+		)
+	}
+	return ts
+}
+
+// BenchmarkStoreAddBatch compares the batch write path against per-triple
+// Add on identical pre-generated input. The /1 case is the per-triple
+// baseline; /64 and /1024 go through AddBatch, so ns/op across the
+// sub-benchmarks is directly comparable.
+func BenchmarkStoreAddBatch(b *testing.B) {
+	for _, size := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("%d", size), func(b *testing.B) {
+			ts := benchTriples(b.N)
+			st := core.NewStore()
+			b.ReportAllocs()
+			b.ResetTimer()
+			if size == 1 {
+				for _, t := range ts {
+					st.Add(t)
+				}
+				return
+			}
+			for i := 0; i < len(ts); i += size {
+				end := i + size
+				if end > len(ts) {
+					end = len(ts)
+				}
+				st.AddBatch(ts[i:end])
+			}
+		})
+	}
+}
+
 func BenchmarkStoreMatchSP(b *testing.B) {
 	st := benchStore(100000)
 	pat := rdf.Triple{S: rdf.NewIRI("kb:e42"), P: rdf.NewIRI("kb:r2")}

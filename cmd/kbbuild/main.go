@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 
+	"kbharvest/internal/core"
 	"kbharvest/internal/eval"
 	"kbharvest/internal/pipeline"
 	"kbharvest/internal/rdf"
@@ -29,7 +30,11 @@ func main() {
 	workers := flag.Int("workers", 4, "extraction parallelism")
 	noReason := flag.Bool("no-reason", false, "disable consistency reasoning")
 	reify := flag.String("reify", "", "also export SPOTL-style reified facts (metadata as triples) to this path")
+	check := flag.Bool("check", false, "reload the written snapshot and verify the fact count round-trips")
 	flag.Parse()
+	if *check && *out == "" {
+		log.Fatal("-check requires -out")
+	}
 
 	opt := pipeline.DefaultOptions()
 	opt.World = synth.DefaultConfig().Scaled(*scale)
@@ -61,6 +66,23 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("snapshot written to %s\n", *out)
+		if *check {
+			g, err := os.Open(*out)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer g.Close()
+			reloaded := core.NewStore()
+			n, err := reloaded.Load(g)
+			if err != nil {
+				log.Fatalf("check: reload: %v", err)
+			}
+			if n != stats.Facts || reloaded.Len() != stats.Facts {
+				log.Fatalf("check: snapshot round-trip lost facts: wrote %d, reloaded %d (live %d)",
+					stats.Facts, n, reloaded.Len())
+			}
+			fmt.Printf("check: snapshot round-trips %d facts\n", n)
+		}
 	}
 	if *reify != "" {
 		f, err := os.Create(*reify)

@@ -1,0 +1,3 @@
+module kbharvest
+
+go 1.22

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"sync"
+
+	"kbharvest/internal/rdf"
+)
+
+// The term dictionary layer: hash-sharded, lock-striped interning of
+// rdf.Term values to dense per-shard IDs. Workers interning terms during
+// parallel harvesting contend only on the shard their term hashes to,
+// never on one global mutex.
+//
+// ID layout: the shard index lives in the low dictShardBits bits, the
+// shard-local index (starting at 1) in the bits above. ID 0 is therefore
+// never allocated and stays reserved as "no term" / wildcard.
+
+const (
+	dictShardBits = 4
+	dictShards    = 1 << dictShardBits // 16
+	dictShardMask = dictShards - 1
+)
+
+type dictShard struct {
+	mu    sync.RWMutex
+	ids   map[rdf.Term]ID
+	terms []rdf.Term // local index -> term; index 0 unused
+}
+
+// termDict is the sharded dictionary. Each shard is independently locked;
+// no operation ever holds more than one shard lock at a time.
+type termDict struct {
+	shards [dictShards]dictShard
+}
+
+func newTermDict() *termDict {
+	d := &termDict{}
+	for i := range d.shards {
+		d.shards[i].ids = make(map[rdf.Term]ID)
+		d.shards[i].terms = make([]rdf.Term, 1)
+	}
+	return d
+}
+
+// termShard hashes a term to its shard with FNV-1a over all fields.
+func termShard(t rdf.Term) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	h = (h ^ uint32(t.Kind)) * prime
+	for i := 0; i < len(t.Value); i++ {
+		h = (h ^ uint32(t.Value[i])) * prime
+	}
+	h = (h ^ 0xff) * prime // field separator
+	for i := 0; i < len(t.Lang); i++ {
+		h = (h ^ uint32(t.Lang[i])) * prime
+	}
+	h = (h ^ 0xff) * prime
+	for i := 0; i < len(t.Datatype); i++ {
+		h = (h ^ uint32(t.Datatype[i])) * prime
+	}
+	// Fold the high bits in so the shard index uses the whole hash.
+	return (h ^ h>>16) & dictShardMask
+}
+
+func packID(shard uint32, local int) ID { return ID(local)<<dictShardBits | ID(shard) }
+
+// intern returns the ID for a term, allocating one if needed. One shard
+// lock acquisition.
+func (d *termDict) intern(t rdf.Term) ID {
+	s := termShard(t)
+	sh := &d.shards[s]
+	sh.mu.RLock()
+	id, ok := sh.ids[t]
+	sh.mu.RUnlock()
+	if ok {
+		return id
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if id, ok := sh.ids[t]; ok {
+		return id
+	}
+	id = packID(s, len(sh.terms))
+	sh.terms = append(sh.terms, t)
+	sh.ids[t] = id
+	return id
+}
+
+// internAll interns every term of ts into ids (parallel slices, same
+// length), taking each shard's lock at most once. This is the batch-write
+// fast path: a 1024-triple batch costs <= 16 dictionary lock acquisitions
+// instead of 3072.
+func (d *termDict) internAll(ts []rdf.Term, ids []ID) {
+	n := len(ts)
+	shardOf := make([]uint8, n)
+	var counts [dictShards]int
+	for i, t := range ts {
+		s := termShard(t)
+		shardOf[i] = uint8(s)
+		counts[s]++
+	}
+	// Bucket term positions contiguously by shard (counting sort).
+	var offsets [dictShards]int
+	sum := 0
+	for s := 0; s < dictShards; s++ {
+		offsets[s] = sum
+		sum += counts[s]
+	}
+	order := make([]int32, n)
+	next := offsets
+	for i := 0; i < n; i++ {
+		s := shardOf[i]
+		order[next[s]] = int32(i)
+		next[s]++
+	}
+	for s := 0; s < dictShards; s++ {
+		if counts[s] == 0 {
+			continue
+		}
+		bucket := order[offsets[s] : offsets[s]+counts[s]]
+		sh := &d.shards[s]
+		sh.mu.Lock()
+		for _, i := range bucket {
+			t := ts[i]
+			id, ok := sh.ids[t]
+			if !ok {
+				id = packID(uint32(s), len(sh.terms))
+				sh.terms = append(sh.terms, t)
+				sh.ids[t] = id
+			}
+			ids[i] = id
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// lookup returns the ID of a previously interned term.
+func (d *termDict) lookup(t rdf.Term) (ID, bool) {
+	sh := &d.shards[termShard(t)]
+	sh.mu.RLock()
+	id, ok := sh.ids[t]
+	sh.mu.RUnlock()
+	return id, ok
+}
+
+// term resolves an ID back to its term. Unknown IDs (including 0) yield
+// the zero term.
+func (d *termDict) term(id ID) rdf.Term {
+	if id == 0 {
+		return rdf.Term{}
+	}
+	sh := &d.shards[id&dictShardMask]
+	local := int(id >> dictShardBits)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if local <= 0 || local >= len(sh.terms) {
+		return rdf.Term{}
+	}
+	return sh.terms[local]
+}
+
+// count returns the number of interned terms.
+func (d *termDict) count() int {
+	n := 0
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.RLock()
+		n += len(sh.terms) - 1
+		sh.mu.RUnlock()
+	}
+	return n
+}

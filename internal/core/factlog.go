@@ -1,0 +1,228 @@
+package core
+
+import "sync"
+
+// The fact-log layer: the append-only list of encoded triples, tombstones,
+// the exact-match (dedup) index, and per-fact metadata. FactIDs are dense
+// log positions. The log's critical sections are short — one map probe and
+// two appends — and the batch path amortizes the lock over a whole batch,
+// assigning FactIDs in input order (which is what makes batch and
+// sequential insertion of the same triples observationally identical).
+
+type factLog struct {
+	mu      sync.RWMutex
+	triples []encTriple // FactID -> triple
+	dead    []bool      // FactID -> tombstone
+	index   map[encTriple]FactID
+	meta    map[FactID]*FactInfo
+	live    int
+}
+
+func newFactLog() *factLog {
+	return &factLog{
+		index: make(map[encTriple]FactID),
+		meta:  make(map[FactID]*FactInfo),
+	}
+}
+
+// add appends one triple, reporting its FactID and whether it is new (a
+// live duplicate reuses its existing ID).
+func (l *factLog) add(et encTriple) (FactID, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.addLocked(et)
+}
+
+func (l *factLog) addLocked(et encTriple) (FactID, bool) {
+	if id, ok := l.index[et]; ok && !l.dead[id] {
+		return id, false
+	}
+	id := FactID(len(l.triples))
+	l.triples = append(l.triples, et)
+	l.dead = append(l.dead, false)
+	l.index[et] = id
+	l.live++
+	return id, true
+}
+
+// addBatch appends every triple under one lock acquisition, filling ids
+// and fresh (parallel slices). infos, when non-nil, carries per-fact
+// metadata applied in the same critical section; a nil entry leaves the
+// fact's metadata untouched.
+func (l *factLog) addBatch(ets []encTriple, ids []FactID, fresh []bool, infos []*FactInfo) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, et := range ets {
+		id, isNew := l.addLocked(et)
+		ids[i] = id
+		if fresh != nil {
+			fresh[i] = isNew
+		}
+		if infos != nil && infos[i] != nil {
+			cp := *infos[i]
+			if cp.Time == (Interval{}) {
+				cp.Time = Always
+			}
+			l.meta[id] = &cp
+		}
+	}
+}
+
+// remove tombstones the live fact for et, reporting whether one existed.
+func (l *factLog) remove(et encTriple) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	id, ok := l.index[et]
+	if !ok || l.dead[id] {
+		return false
+	}
+	l.killLocked(id)
+	return true
+}
+
+// removeFact tombstones a fact by ID.
+func (l *factLog) removeFact(id FactID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if int(id) >= len(l.triples) || l.dead[id] {
+		return false
+	}
+	l.killLocked(id)
+	return true
+}
+
+func (l *factLog) killLocked(id FactID) {
+	l.dead[id] = true
+	delete(l.meta, id)
+	l.live--
+}
+
+// factOf resolves a live triple to its FactID.
+func (l *factLog) factOf(et encTriple) (FactID, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	id, ok := l.index[et]
+	if !ok || l.dead[id] {
+		return NoFact, false
+	}
+	return id, true
+}
+
+// get returns the triple of a live fact.
+func (l *factLog) get(id FactID) (encTriple, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if int(id) >= len(l.triples) || l.dead[id] {
+		return encTriple{}, false
+	}
+	return l.triples[id], true
+}
+
+// resolve filters candidate IDs down to live facts and fetches their
+// triples under one read lock. ids must be sorted if callers rely on
+// deterministic output order.
+func (l *factLog) resolve(ids []FactID) ([]FactID, []encTriple) {
+	live := ids[:0]
+	ets := make([]encTriple, 0, len(ids))
+	l.mu.RLock()
+	for _, id := range ids {
+		if int(id) < len(l.triples) && !l.dead[id] {
+			live = append(live, id)
+			ets = append(ets, l.triples[id])
+		}
+	}
+	l.mu.RUnlock()
+	return live, ets
+}
+
+// scan returns every live fact ID and triple in insertion order.
+func (l *factLog) scan() ([]FactID, []encTriple) {
+	l.mu.RLock()
+	ids := make([]FactID, 0, l.live)
+	ets := make([]encTriple, 0, l.live)
+	for id, et := range l.triples {
+		if !l.dead[id] {
+			ids = append(ids, FactID(id))
+			ets = append(ets, et)
+		}
+	}
+	l.mu.RUnlock()
+	return ids, ets
+}
+
+// snapshot returns every live fact in insertion order together with a
+// copy of its explicit metadata (nil where none was set), under one read
+// lock — the consistent view Save serializes.
+func (l *factLog) snapshot() ([]FactID, []encTriple, []*FactInfo) {
+	l.mu.RLock()
+	ids := make([]FactID, 0, l.live)
+	ets := make([]encTriple, 0, l.live)
+	infos := make([]*FactInfo, 0, l.live)
+	for id, et := range l.triples {
+		if l.dead[id] {
+			continue
+		}
+		ids = append(ids, FactID(id))
+		ets = append(ets, et)
+		if m, ok := l.meta[FactID(id)]; ok {
+			cp := *m
+			infos = append(infos, &cp)
+		} else {
+			infos = append(infos, nil)
+		}
+	}
+	l.mu.RUnlock()
+	return ids, ets, infos
+}
+
+func (l *factLog) len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.live
+}
+
+// setInfo replaces a live fact's metadata.
+func (l *factLog) setInfo(id FactID, info FactInfo) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if int(id) >= len(l.triples) || l.dead[id] {
+		return false
+	}
+	cp := info
+	if cp.Time == (Interval{}) {
+		cp.Time = Always
+	}
+	l.meta[id] = &cp
+	return true
+}
+
+// info reads a live fact's metadata, defaulting to confidence 1 / Always.
+func (l *factLog) info(id FactID) (FactInfo, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if int(id) >= len(l.triples) || l.dead[id] {
+		return FactInfo{}, false
+	}
+	if m, ok := l.meta[id]; ok {
+		return *m, true
+	}
+	return FactInfo{Confidence: 1, Time: Always}, true
+}
+
+// update mutates a live fact's metadata in place via fn, creating the
+// entry from the given default if absent.
+func (l *factLog) update(id FactID, def FactInfo, fn func(*FactInfo)) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if int(id) >= len(l.triples) || l.dead[id] {
+		return false
+	}
+	m, ok := l.meta[id]
+	if !ok {
+		cp := def
+		m = &cp
+		l.meta[id] = m
+	}
+	fn(m)
+	return true
+}

@@ -1,0 +1,114 @@
+package core
+
+import "sync"
+
+// The index layer: each of the three permutations (spo/pos/osp) is a
+// permIndex of indexStripes independently locked stripes, keyed by the
+// permutation's leading ID. A write touches exactly one stripe per
+// permutation, so concurrent writers with different leading terms never
+// contend; readers take a stripe read lock only long enough to copy the
+// matching fact IDs out.
+//
+// Postings are held behind pointers (map[ID]*posting) so appending to an
+// existing posting list costs one map access instead of an access plus a
+// re-assignment.
+
+const (
+	indexStripeBits = 4
+	indexStripes    = 1 << indexStripeBits // 16
+	indexStripeMask = indexStripes - 1
+)
+
+type posting struct{ ids []FactID }
+
+type indexStripe struct {
+	mu sync.RWMutex
+	m  map[ID]map[ID]*posting // leading -> second -> facts
+}
+
+type permIndex struct {
+	stripes [indexStripes]indexStripe
+}
+
+func (p *permIndex) init() {
+	for i := range p.stripes {
+		p.stripes[i].m = make(map[ID]map[ID]*posting)
+	}
+}
+
+func stripeOf(lead ID) uint32 {
+	// Leading IDs carry the dictionary shard in their low bits; mix the
+	// local index in so stripe choice is independent of dictionary shard.
+	return (uint32(lead) ^ uint32(lead)>>indexStripeBits) & indexStripeMask
+}
+
+func (st *indexStripe) put(a, b ID, f FactID) {
+	inner, ok := st.m[a]
+	if !ok {
+		inner = make(map[ID]*posting)
+		st.m[a] = inner
+	}
+	pl, ok := inner[b]
+	if !ok {
+		pl = &posting{}
+		inner[b] = pl
+	}
+	pl.ids = append(pl.ids, f)
+}
+
+// insert adds one fact under (a, b). One stripe lock acquisition.
+func (p *permIndex) insert(a, b ID, f FactID) {
+	s := &p.stripes[stripeOf(a)]
+	s.mu.Lock()
+	s.put(a, b, f)
+	s.mu.Unlock()
+}
+
+// idxEntry is one pending index insertion of a batch.
+type idxEntry struct {
+	a, b ID
+	f    FactID
+}
+
+// insertBatch adds every entry, taking each stripe's lock at most once.
+func (p *permIndex) insertBatch(entries []idxEntry) {
+	var byStripe [indexStripes][]idxEntry
+	for _, e := range entries {
+		s := stripeOf(e.a)
+		byStripe[s] = append(byStripe[s], e)
+	}
+	for s := range byStripe {
+		if len(byStripe[s]) == 0 {
+			continue
+		}
+		stripe := &p.stripes[s]
+		stripe.mu.Lock()
+		for _, e := range byStripe[s] {
+			stripe.put(e.a, e.b, e.f)
+		}
+		stripe.mu.Unlock()
+	}
+}
+
+// pair appends the fact IDs filed under (a, b) to buf and returns it.
+func (p *permIndex) pair(a, b ID, buf []FactID) []FactID {
+	s := &p.stripes[stripeOf(a)]
+	s.mu.RLock()
+	if pl, ok := s.m[a][b]; ok {
+		buf = append(buf, pl.ids...)
+	}
+	s.mu.RUnlock()
+	return buf
+}
+
+// lead appends every fact ID whose leading term is a to buf and returns
+// it. Order is unspecified; callers sort by FactID.
+func (p *permIndex) lead(a ID, buf []FactID) []FactID {
+	s := &p.stripes[stripeOf(a)]
+	s.mu.RLock()
+	for _, pl := range s.m[a] {
+		buf = append(buf, pl.ids...)
+	}
+	s.mu.RUnlock()
+	return buf
+}

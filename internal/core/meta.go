@@ -87,64 +87,32 @@ type FactInfo struct {
 }
 
 // SetInfo attaches metadata to a fact. Unknown or dead fact IDs are
-// ignored (reported via the return value).
+// ignored (reported via the return value). For bulk assertion with
+// metadata, prefer AddBatchMeta, which applies the metadata in the same
+// fact-log critical section as the insert.
 func (st *Store) SetInfo(id FactID, info FactInfo) bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if int(id) >= len(st.triples) || st.dead[id] {
-		return false
-	}
-	cp := info
-	if cp.Time == (Interval{}) {
-		cp.Time = Always
-	}
-	st.meta[id] = &cp
-	return true
+	return st.log.setInfo(id, info)
 }
 
 // Info returns the metadata of a fact. Facts without explicit metadata
 // report confidence 1 and the Always interval.
 func (st *Store) Info(id FactID) (FactInfo, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	if int(id) >= len(st.triples) || st.dead[id] {
-		return FactInfo{}, false
-	}
-	if m, ok := st.meta[id]; ok {
-		return *m, true
-	}
-	return FactInfo{Confidence: 1, Time: Always}, true
+	return st.log.info(id)
 }
 
 // SetConfidence updates only the confidence of a fact, preserving other
 // metadata.
 func (st *Store) SetConfidence(id FactID, c float64) bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if int(id) >= len(st.triples) || st.dead[id] {
-		return false
-	}
-	if m, ok := st.meta[id]; ok {
+	return st.log.update(id, FactInfo{Confidence: c, Time: Always}, func(m *FactInfo) {
 		m.Confidence = c
-		return true
-	}
-	st.meta[id] = &FactInfo{Confidence: c, Time: Always}
-	return true
+	})
 }
 
 // SetTime updates only the temporal scope of a fact.
 func (st *Store) SetTime(id FactID, iv Interval) bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if int(id) >= len(st.triples) || st.dead[id] {
-		return false
-	}
-	if m, ok := st.meta[id]; ok {
+	return st.log.update(id, FactInfo{Confidence: 1, Time: iv}, func(m *FactInfo) {
 		m.Time = iv
-		return true
-	}
-	st.meta[id] = &FactInfo{Confidence: 1, Time: iv}
-	return true
+	})
 }
 
 func min(a, b int) int {

@@ -22,22 +22,20 @@ import (
 //
 // A meta line applies to the immediately preceding fact line.
 
-// Save writes the store to w. Facts appear in insertion order.
+// Save writes the store to w. Facts appear in insertion order. The fact
+// list and metadata are captured in one consistent view before
+// serialization, so concurrent writers cannot tear a snapshot.
 func (st *Store) Save(w io.Writer) error {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+	_, ets, infos := st.log.snapshot()
 	bw := bufio.NewWriter(w)
-	for id, et := range st.triples {
-		if st.dead[id] {
-			continue
-		}
+	for i, et := range ets {
 		if _, err := bw.WriteString(st.decode(et).String()); err != nil {
 			return fmt.Errorf("core: save: %w", err)
 		}
 		if err := bw.WriteByte('\n'); err != nil {
 			return fmt.Errorf("core: save: %w", err)
 		}
-		if m, ok := st.meta[FactID(id)]; ok {
+		if m := infos[i]; m != nil {
 			line := fmt.Sprintf("#!meta %g %d %d %s\n", m.Confidence, m.Time.Begin, m.Time.End, m.Source)
 			if _, err := bw.WriteString(line); err != nil {
 				return fmt.Errorf("core: save: %w", err)
@@ -50,14 +48,29 @@ func (st *Store) Save(w io.Writer) error {
 	return nil
 }
 
+// loadBatchSize bounds how many parsed facts Load buffers before flushing
+// them through the batch write path.
+const loadBatchSize = 4096
+
 // Load reads a snapshot produced by Save into an empty-or-existing store.
-// It returns the number of facts loaded.
+// Facts are asserted through the batch write path in chunks of
+// loadBatchSize. It returns the number of facts loaded.
 func (st *Store) Load(r io.Reader) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	n := 0
 	lineNo := 0
-	last := NoFact
+	var (
+		pending []rdf.Triple
+		infos   []*FactInfo
+	)
+	flush := func() {
+		if len(pending) > 0 {
+			st.addBatch(pending, infos)
+			pending = pending[:0]
+			infos = infos[:0]
+		}
+	}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -65,14 +78,14 @@ func (st *Store) Load(r io.Reader) (int, error) {
 		case line == "":
 			continue
 		case strings.HasPrefix(line, "#!meta "):
-			if last == NoFact {
+			if len(pending) == 0 {
 				return n, fmt.Errorf("core: load: line %d: meta without preceding fact", lineNo)
 			}
 			info, err := parseMetaLine(line)
 			if err != nil {
 				return n, fmt.Errorf("core: load: line %d: %w", lineNo, err)
 			}
-			st.SetInfo(last, info)
+			infos[len(infos)-1] = &info
 		case strings.HasPrefix(line, "#"):
 			continue
 		default:
@@ -80,10 +93,22 @@ func (st *Store) Load(r io.Reader) (int, error) {
 			if err != nil {
 				return n, fmt.Errorf("core: load: line %d: %w", lineNo, err)
 			}
-			last = st.Add(t)
+			pending = append(pending, t)
+			infos = append(infos, nil)
 			n++
+			if len(pending) >= loadBatchSize {
+				// Flush only up to the last fact so a following meta
+				// line can still attach to it.
+				keepT, keepI := pending[len(pending)-1], infos[len(infos)-1]
+				pending = pending[:len(pending)-1]
+				infos = infos[:len(infos)-1]
+				flush()
+				pending = append(pending, keepT)
+				infos = append(infos, keepI)
+			}
 		}
 	}
+	flush()
 	if err := sc.Err(); err != nil {
 		return n, fmt.Errorf("core: load: %w", err)
 	}

@@ -1,29 +1,49 @@
 // Package core implements the knowledge base itself: a dictionary-encoded
-// in-memory triple store with the three index permutations needed to answer
-// any triple pattern, per-fact metadata (confidence, provenance, temporal
-// scope), taxonomy operations over rdf:type / rdfs:subClassOf, a small
-// conjunctive (SPARQL-BGP-style) query engine, and snapshot persistence.
+// in-memory triple store built for massively parallel harvesting, with
+// per-fact metadata (confidence, provenance, temporal scope), taxonomy
+// operations over rdf:type / rdfs:subClassOf, a small conjunctive
+// (SPARQL-BGP-style) query engine, and snapshot persistence.
 //
 // This is the substrate every other module of the reproduction reads from
 // and writes to — the role that the RDF stores behind DBpedia, YAGO, and
-// Freebase play in the tutorial (§2).
+// Freebase play in the tutorial (§2). Because web-scale KB construction
+// only works when the store absorbs many concurrent extraction workers,
+// the store is layered for concurrency rather than guarded by one lock:
+//
+//   - dictionary shards (dict.go): term interning is hash-sharded over 16
+//     independently locked shards; IDs encode their shard in the low bits.
+//   - index stripes (index.go): each index permutation (spo/pos/osp) is
+//     split into 16 stripes keyed by leading ID, so writers with
+//     different leading terms never contend and readers only hold a
+//     stripe lock while copying fact IDs out.
+//   - fact log (factlog.go): the dense FactID-ordered triple log with the
+//     exact-match dedup index and per-fact metadata, with short critical
+//     sections.
+//
+// No operation holds two layer locks at once, so the store is deadlock
+// free by construction. The batch write path — AddBatch / AddBatchMeta —
+// interns, logs, and indexes a whole batch with at most one lock
+// acquisition per shard or stripe, and is the preferred ingestion API for
+// extraction pipelines; per-triple Add remains for incremental use.
+// Pattern enumeration is sorted by FactID, so batch and sequential
+// insertion of the same triples answer every query identically.
 package core
 
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"kbharvest/internal/rdf"
 )
 
-// ID is a dictionary-encoded term identifier. IDs are dense and start at 1;
-// 0 is reserved as "no term" / wildcard.
+// ID is a dictionary-encoded term identifier. The low bits carry the
+// dictionary shard, the rest the shard-local index; 0 is reserved as
+// "no term" / wildcard.
 type ID uint32
 
 // FactID identifies one asserted triple inside a Store. FactIDs are dense
-// and start at 0; they stay stable for the lifetime of the store (facts are
-// tombstoned, not compacted, on removal).
+// and start at 0; they stay stable for the lifetime of the store (facts
+// are tombstoned, not compacted, on removal).
 type FactID uint32
 
 // NoFact is returned by lookups that find no fact.
@@ -33,162 +53,161 @@ type encTriple struct {
 	s, p, o ID
 }
 
-// Store is an in-memory knowledge base. It is safe for concurrent use.
+// Store is an in-memory knowledge base. It is safe for concurrent use:
+// point operations (Add, Remove, FactOf, ...) are atomic, and a fact is
+// visible to every read path once the call that asserted it returns.
 //
 // The zero value is not usable; call NewStore.
 type Store struct {
-	mu sync.RWMutex
-
-	dict  map[rdf.Term]ID
-	terms []rdf.Term // ID -> term; index 0 unused
-
-	triples []encTriple // FactID -> triple
-	dead    []bool      // FactID -> tombstone
-	index   map[encTriple]FactID
+	dict *termDict
+	log  *factLog
 
 	// Three permutations cover all bound/unbound pattern combinations:
 	// spo answers (s ? ?) and (s p ?); pos answers (? p ?) and (? p o);
 	// osp answers (? ? o) and (s ? o).
-	spo map[ID]map[ID][]FactID // s -> p -> facts
-	pos map[ID]map[ID][]FactID // p -> o -> facts
-	osp map[ID]map[ID][]FactID // o -> s -> facts
-
-	meta map[FactID]*FactInfo
-
-	live int
+	spo permIndex
+	pos permIndex
+	osp permIndex
 }
 
 // NewStore returns an empty knowledge base.
 func NewStore() *Store {
-	return &Store{
-		dict:  make(map[rdf.Term]ID),
-		terms: make([]rdf.Term, 1),
-		index: make(map[encTriple]FactID),
-		spo:   make(map[ID]map[ID][]FactID),
-		pos:   make(map[ID]map[ID][]FactID),
-		osp:   make(map[ID]map[ID][]FactID),
-		meta:  make(map[FactID]*FactInfo),
+	st := &Store{
+		dict: newTermDict(),
+		log:  newFactLog(),
 	}
-}
-
-// intern returns the ID for a term, allocating one if needed.
-// Caller must hold mu for writing.
-func (st *Store) intern(t rdf.Term) ID {
-	if id, ok := st.dict[t]; ok {
-		return id
-	}
-	id := ID(len(st.terms))
-	st.terms = append(st.terms, t)
-	st.dict[t] = id
-	return id
+	st.spo.init()
+	st.pos.init()
+	st.osp.init()
+	return st
 }
 
 // lookup returns the ID for a term, or 0 if the term is unknown or a
-// wildcard (zero Term). Caller must hold mu for reading.
+// wildcard (zero Term).
 func (st *Store) lookup(t rdf.Term) (ID, bool) {
 	if t.IsZero() {
 		return 0, true // wildcard
 	}
-	id, ok := st.dict[t]
-	return id, ok
+	return st.dict.lookup(t)
 }
 
-// Term returns the term for an ID. The zero ID yields the zero Term.
+// Term returns the term for an ID. The zero or an unknown ID yields the
+// zero Term.
 func (st *Store) Term(id ID) rdf.Term {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	if int(id) >= len(st.terms) {
-		return rdf.Term{}
-	}
-	return st.terms[id]
+	return st.dict.term(id)
 }
 
 // TermID returns the dictionary ID for a term, or false if it has never
 // been seen by this store.
 func (st *Store) TermID(t rdf.Term) (ID, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	id, ok := st.dict[t]
-	return id, ok
+	return st.dict.lookup(t)
 }
 
 // Add asserts a triple and returns its FactID. Adding an existing live
 // triple is idempotent and returns the original FactID.
 func (st *Store) Add(t rdf.Triple) FactID {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.addLocked(t)
-}
-
-func (st *Store) addLocked(t rdf.Triple) FactID {
-	et := encTriple{st.intern(t.S), st.intern(t.P), st.intern(t.O)}
-	if id, ok := st.index[et]; ok && !st.dead[id] {
-		return id
+	et := encTriple{st.dict.intern(t.S), st.dict.intern(t.P), st.dict.intern(t.O)}
+	id, isNew := st.log.add(et)
+	if isNew {
+		st.spo.insert(et.s, et.p, id)
+		st.pos.insert(et.p, et.o, id)
+		st.osp.insert(et.o, et.s, id)
 	}
-	id := FactID(len(st.triples))
-	st.triples = append(st.triples, et)
-	st.dead = append(st.dead, false)
-	st.index[et] = id
-	addIdx(st.spo, et.s, et.p, id)
-	addIdx(st.pos, et.p, et.o, id)
-	addIdx(st.osp, et.o, et.s, id)
-	st.live++
 	return id
 }
 
-// AddAll asserts every triple, returning the fact IDs in order.
+// AddAll asserts every triple, returning the fact IDs in order. It is
+// equivalent to, and implemented as, AddBatch.
 func (st *Store) AddAll(ts []rdf.Triple) []FactID {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	ids := make([]FactID, len(ts))
-	for i, t := range ts {
-		ids[i] = st.addLocked(t)
-	}
-	return ids
+	return st.AddBatch(ts)
 }
 
-func addIdx(idx map[ID]map[ID][]FactID, a, b ID, f FactID) {
-	m, ok := idx[a]
-	if !ok {
-		m = make(map[ID][]FactID)
-		idx[a] = m
+// AddBatch asserts every triple through the batch write path: terms are
+// interned per dictionary shard, the fact log is appended under a single
+// lock acquisition (FactIDs assigned in input order), and index insertions
+// are grouped per stripe. Duplicate triples — within the batch or against
+// the store — reuse their existing FactID, exactly like repeated Add
+// calls.
+func (st *Store) AddBatch(ts []rdf.Triple) []FactID {
+	return st.addBatch(ts, nil)
+}
+
+// AddBatchMeta is AddBatch plus per-fact metadata: infos[i] is attached to
+// ts[i] in the same fact-log critical section (overwriting existing
+// metadata on duplicates, like SetInfo). infos must have the same length
+// as ts.
+func (st *Store) AddBatchMeta(ts []rdf.Triple, infos []FactInfo) []FactID {
+	if len(infos) != len(ts) {
+		panic(fmt.Sprintf("core: AddBatchMeta: %d triples but %d infos", len(ts), len(infos)))
 	}
-	m[b] = append(m[b], f)
+	ptrs := make([]*FactInfo, len(infos))
+	for i := range infos {
+		ptrs[i] = &infos[i]
+	}
+	return st.addBatch(ts, ptrs)
+}
+
+func (st *Store) addBatch(ts []rdf.Triple, infos []*FactInfo) []FactID {
+	n := len(ts)
+	if n == 0 {
+		return nil
+	}
+	// Layer 1: intern all terms, grouped by dictionary shard.
+	terms := make([]rdf.Term, 3*n)
+	for i, t := range ts {
+		terms[3*i], terms[3*i+1], terms[3*i+2] = t.S, t.P, t.O
+	}
+	termIDs := make([]ID, 3*n)
+	st.dict.internAll(terms, termIDs)
+	ets := make([]encTriple, n)
+	for i := range ts {
+		ets[i] = encTriple{termIDs[3*i], termIDs[3*i+1], termIDs[3*i+2]}
+	}
+	// Layer 3: append to the fact log in input order, one lock.
+	ids := make([]FactID, n)
+	fresh := make([]bool, n)
+	st.log.addBatch(ets, ids, fresh, infos)
+	// Layer 2: index the new facts, grouped by stripe per permutation.
+	entries := make([]idxEntry, 0, n)
+	for i := range ets {
+		if fresh[i] {
+			entries = append(entries, idxEntry{ets[i].s, ets[i].p, ids[i]})
+		}
+	}
+	st.spo.insertBatch(entries)
+	for j, i := 0, 0; i < n; i++ {
+		if fresh[i] {
+			entries[j] = idxEntry{ets[i].p, ets[i].o, ids[i]}
+			j++
+		}
+	}
+	st.pos.insertBatch(entries)
+	for j, i := 0, 0; i < n; i++ {
+		if fresh[i] {
+			entries[j] = idxEntry{ets[i].o, ets[i].s, ids[i]}
+			j++
+		}
+	}
+	st.osp.insertBatch(entries)
+	return ids
 }
 
 // Remove retracts a triple. It reports whether the triple was present.
 // The fact's ID is tombstoned; indexes drop it lazily during queries.
 func (st *Store) Remove(t rdf.Triple) bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	s, ok1 := st.dict[t.S]
-	p, ok2 := st.dict[t.P]
-	o, ok3 := st.dict[t.O]
+	s, ok1 := st.dict.lookup(t.S)
+	p, ok2 := st.dict.lookup(t.P)
+	o, ok3 := st.dict.lookup(t.O)
 	if !ok1 || !ok2 || !ok3 {
 		return false
 	}
-	id, ok := st.index[encTriple{s, p, o}]
-	if !ok || st.dead[id] {
-		return false
-	}
-	st.dead[id] = true
-	delete(st.meta, id)
-	st.live--
-	return true
+	return st.log.remove(encTriple{s, p, o})
 }
 
 // RemoveFact retracts the fact with the given ID, reporting whether it was
 // live.
 func (st *Store) RemoveFact(id FactID) bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if int(id) >= len(st.triples) || st.dead[id] {
-		return false
-	}
-	st.dead[id] = true
-	delete(st.meta, id)
-	st.live--
-	return true
+	return st.log.removeFact(id)
 }
 
 // Has reports whether the triple is asserted.
@@ -199,48 +218,37 @@ func (st *Store) Has(t rdf.Triple) bool {
 
 // FactOf returns the FactID of an asserted triple.
 func (st *Store) FactOf(t rdf.Triple) (FactID, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	s, ok1 := st.dict[t.S]
-	p, ok2 := st.dict[t.P]
-	o, ok3 := st.dict[t.O]
+	s, ok1 := st.dict.lookup(t.S)
+	p, ok2 := st.dict.lookup(t.P)
+	o, ok3 := st.dict.lookup(t.O)
 	if !ok1 || !ok2 || !ok3 {
 		return NoFact, false
 	}
-	id, ok := st.index[encTriple{s, p, o}]
-	if !ok || st.dead[id] {
-		return NoFact, false
-	}
-	return id, true
+	return st.log.factOf(encTriple{s, p, o})
 }
 
 // Fact returns the triple for a FactID; ok is false for tombstoned or
 // out-of-range IDs.
 func (st *Store) Fact(id FactID) (rdf.Triple, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	if int(id) >= len(st.triples) || st.dead[id] {
+	et, ok := st.log.get(id)
+	if !ok {
 		return rdf.Triple{}, false
 	}
-	return st.decode(st.triples[id]), true
+	return st.decode(et), true
 }
 
 func (st *Store) decode(et encTriple) rdf.Triple {
-	return rdf.Triple{S: st.terms[et.s], P: st.terms[et.p], O: st.terms[et.o]}
+	return rdf.Triple{S: st.dict.term(et.s), P: st.dict.term(et.p), O: st.dict.term(et.o)}
 }
 
 // Len returns the number of live facts.
 func (st *Store) Len() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.live
+	return st.log.len()
 }
 
 // TermCount returns the number of distinct terms in the dictionary.
 func (st *Store) TermCount() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return len(st.terms) - 1
+	return st.dict.count()
 }
 
 // Match returns every live fact matching the pattern. Zero-valued terms
@@ -264,11 +272,10 @@ func (st *Store) MatchFacts(pattern rdf.Triple) []FactID {
 	return out
 }
 
-// MatchFunc streams every live fact matching the pattern to fn, stopping
-// early if fn returns false.
+// MatchFunc streams every live fact matching the pattern to fn in
+// fact-insertion order, stopping early if fn returns false. fn runs with
+// no store locks held, so it may freely call back into the store.
 func (st *Store) MatchFunc(pattern rdf.Triple, fn func(FactID, rdf.Triple) bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
 	s, ok := st.lookup(pattern.S)
 	if !ok {
 		return
@@ -281,81 +288,50 @@ func (st *Store) MatchFunc(pattern rdf.Triple, fn func(FactID, rdf.Triple) bool)
 	if !ok {
 		return
 	}
-	st.matchIDs(s, p, o, func(id FactID) bool {
-		return fn(id, st.decode(st.triples[id]))
-	})
+	ids, ets := st.matchEnc(s, p, o)
+	for i, id := range ids {
+		if !fn(id, st.decode(ets[i])) {
+			return
+		}
+	}
 }
 
-// matchIDs enumerates live fact IDs matching the encoded pattern (0 =
-// wildcard). Caller must hold mu for reading.
-func (st *Store) matchIDs(s, p, o ID, fn func(FactID) bool) {
-	emit := func(ids []FactID) bool {
-		for _, id := range ids {
-			if st.dead[id] {
-				continue
-			}
-			if !fn(id) {
-				return false
-			}
-		}
-		return true
-	}
+// matchEnc gathers the live facts matching the encoded pattern (0 =
+// wildcard), sorted by FactID. Candidate IDs are collected from the
+// narrowest index, then filtered against tombstones in one fact-log pass.
+func (st *Store) matchEnc(s, p, o ID) ([]FactID, []encTriple) {
+	var cand []FactID
 	switch {
 	case s != 0 && p != 0 && o != 0:
-		if id, ok := st.index[encTriple{s, p, o}]; ok && !st.dead[id] {
-			fn(id)
+		id, ok := st.log.factOf(encTriple{s, p, o})
+		if !ok {
+			return nil, nil
 		}
+		et, ok := st.log.get(id)
+		if !ok {
+			return nil, nil
+		}
+		return []FactID{id}, []encTriple{et}
 	case s != 0 && p != 0:
-		emit(st.spo[s][p])
+		cand = st.spo.pair(s, p, nil)
 	case s != 0 && o != 0:
-		// osp answers (s ? o).
-		for _, id := range st.osp[o][s] {
-			if st.dead[id] {
-				continue
-			}
-			if !fn(id) {
-				return
-			}
-		}
+		cand = st.osp.pair(o, s, nil)
 	case s != 0:
-		for _, pm := range sortedKeys(st.spo[s]) {
-			if !emit(st.spo[s][pm]) {
-				return
-			}
-		}
+		cand = st.spo.lead(s, nil)
 	case p != 0 && o != 0:
-		emit(st.pos[p][o])
+		cand = st.pos.pair(p, o, nil)
 	case p != 0:
-		for _, om := range sortedKeys(st.pos[p]) {
-			if !emit(st.pos[p][om]) {
-				return
-			}
-		}
+		cand = st.pos.lead(p, nil)
 	case o != 0:
-		for _, sm := range sortedKeys(st.osp[o]) {
-			if !emit(st.osp[o][sm]) {
-				return
-			}
-		}
+		cand = st.osp.lead(o, nil)
 	default:
-		for id := range st.triples {
-			if st.dead[id] {
-				continue
-			}
-			if !fn(FactID(id)) {
-				return
-			}
-		}
+		return st.log.scan()
 	}
-}
-
-func sortedKeys(m map[ID][]FactID) []ID {
-	keys := make([]ID, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+	if len(cand) == 0 {
+		return nil, nil
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
+	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+	return st.log.resolve(cand)
 }
 
 // Objects returns the distinct objects of facts (s, p, ?).
@@ -387,24 +363,15 @@ func (st *Store) Subjects(p, o string) []rdf.Term {
 	return out
 }
 
-// Predicates returns the distinct predicates used by live facts.
+// Predicates returns the distinct predicates used by live facts, sorted.
 func (st *Store) Predicates() []rdf.Term {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+	_, ets := st.log.scan()
+	seen := make(map[ID]bool)
 	var out []rdf.Term
-	for p, m := range st.pos {
-		alive := false
-	scan:
-		for _, ids := range m {
-			for _, id := range ids {
-				if !st.dead[id] {
-					alive = true
-					break scan
-				}
-			}
-		}
-		if alive {
-			out = append(out, st.terms[p])
+	for _, et := range ets {
+		if !seen[et.p] {
+			seen[et.p] = true
+			out = append(out, st.dict.term(et.p))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
@@ -413,13 +380,10 @@ func (st *Store) Predicates() []rdf.Term {
 
 // All returns every live triple in fact-insertion order.
 func (st *Store) All() []rdf.Triple {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	out := make([]rdf.Triple, 0, st.live)
-	for id, et := range st.triples {
-		if !st.dead[id] {
-			out = append(out, st.decode(et))
-		}
+	_, ets := st.log.scan()
+	out := make([]rdf.Triple, len(ets))
+	for i, et := range ets {
+		out[i] = st.decode(et)
 	}
 	return out
 }
@@ -435,28 +399,28 @@ type Stats struct {
 
 // Stats computes summary statistics.
 func (st *Store) Stats() Stats {
-	st.mu.RLock()
+	_, ets := st.log.scan()
 	subjects := make(map[ID]bool)
 	preds := make(map[ID]bool)
-	live := 0
-	for id, et := range st.triples {
-		if st.dead[id] {
-			continue
-		}
-		live++
-		if st.terms[et.s].IsIRI() {
-			subjects[et.s] = true
-		}
+	for _, et := range ets {
+		subjects[et.s] = true
 		preds[et.p] = true
 	}
-	terms := len(st.terms) - 1
-	st.mu.RUnlock()
-	return Stats{Facts: live, Terms: terms, Predicates: len(preds), Entities: len(subjects)}
+	entities := 0
+	for s := range subjects {
+		if st.dict.term(s).IsIRI() {
+			entities++
+		}
+	}
+	return Stats{
+		Facts:      len(ets),
+		Terms:      st.dict.count(),
+		Predicates: len(preds),
+		Entities:   entities,
+	}
 }
 
 // String renders a short summary, e.g. "kb(12345 facts, 6789 terms)".
 func (st *Store) String() string {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return fmt.Sprintf("kb(%d facts, %d terms)", st.live, len(st.terms)-1)
+	return fmt.Sprintf("kb(%d facts, %d terms)", st.Len(), st.TermCount())
 }

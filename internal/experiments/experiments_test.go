@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -148,14 +149,46 @@ func TestE7Shape(t *testing.T) {
 
 func TestE8Shape(t *testing.T) {
 	tabs := E8MapReduce()
+	if len(tabs) != 2 {
+		t.Fatalf("E8 tables = %d", len(tabs))
+	}
 	rows := tabs[0].Rows
 	if len(rows) != 4 {
 		t.Fatalf("E8 rows = %d", len(rows))
 	}
-	// Speedup at 4 workers must exceed 1.5x (lenient: CI machines vary).
+	for _, row := range rows {
+		t.Logf("E8 workers=%s speedup=%s", row[0], row[4])
+	}
+	// Parallel speedup is bounded by the cores actually available: a
+	// 4-worker run cannot beat 1 worker on a single-core machine, so scale
+	// the expectation to GOMAXPROCS instead of hard-coding a ratio.
 	speedup4 := parseCell(t, rows[2][4])
-	if speedup4 < 1.5 {
-		t.Errorf("E8 speedup at 4 workers = %v", speedup4)
+	var want float64
+	switch procs := runtime.GOMAXPROCS(0); {
+	case procs >= 4:
+		want = 1.5
+	case procs >= 2:
+		want = 1.15
+	default:
+		want = 0.85 // tolerance: goroutine overhead on one core
+	}
+	if speedup4 < want {
+		t.Errorf("E8 speedup at 4 workers = %v, want >= %v on GOMAXPROCS=%d",
+			speedup4, want, runtime.GOMAXPROCS(0))
+	}
+	// E8b: the batch write path must not lose badly to per-triple Add. On
+	// a single core the lock amortization that makes batching win cannot
+	// show up, and per-run noise swamps the residual difference, so this
+	// only guards against a catastrophic batch-path regression.
+	brows := tabs[1].Rows
+	if len(brows) != 3 {
+		t.Fatalf("E8b rows = %d", len(brows))
+	}
+	for _, row := range brows {
+		t.Logf("E8b workers=%s batch/add=%s", row[0], row[6])
+		if ratio := parseCell(t, row[6]); ratio < 0.5 {
+			t.Errorf("E8b batch/add ratio = %v at %s workers", ratio, row[0])
+		}
 	}
 }
 

@@ -1,0 +1,67 @@
+package mapreduce
+
+import (
+	"kbharvest/internal/core"
+	"kbharvest/internal/rdf"
+)
+
+// A BatchStore accepts triples with metadata through a batch write path.
+// *core.Store satisfies it; tests may substitute recorders.
+type BatchStore interface {
+	AddBatchMeta(ts []rdf.Triple, infos []core.FactInfo) []core.FactID
+}
+
+// TripleBatcher is a reducer-side sink that buffers emitted triples and
+// flushes them into a store through its batch write path, so a reducer
+// producing thousands of facts costs the store a handful of lock
+// acquisitions instead of several per fact. It is NOT safe for concurrent
+// use: give each reducer worker its own batcher and Flush at the end, or
+// funnel all emissions through one goroutine.
+type TripleBatcher struct {
+	st      BatchStore
+	size    int
+	triples []rdf.Triple
+	infos   []core.FactInfo
+	total   int
+}
+
+// DefaultBatchSize is the TripleBatcher flush threshold when none is given.
+const DefaultBatchSize = 1024
+
+// NewTripleBatcher returns a batcher flushing into st every size triples
+// (DefaultBatchSize if size <= 0).
+func NewTripleBatcher(st BatchStore, size int) *TripleBatcher {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &TripleBatcher{
+		st:      st,
+		size:    size,
+		triples: make([]rdf.Triple, 0, size),
+		infos:   make([]core.FactInfo, 0, size),
+	}
+}
+
+// Emit buffers one triple with its metadata, flushing if the batch is full.
+func (b *TripleBatcher) Emit(t rdf.Triple, info core.FactInfo) {
+	b.triples = append(b.triples, t)
+	b.infos = append(b.infos, info)
+	if len(b.triples) >= b.size {
+		b.Flush()
+	}
+}
+
+// Flush writes any buffered triples to the store and returns the total
+// number of triples emitted through the batcher so far.
+func (b *TripleBatcher) Flush() int {
+	if len(b.triples) > 0 {
+		b.st.AddBatchMeta(b.triples, b.infos)
+		b.total += len(b.triples)
+		b.triples = b.triples[:0]
+		b.infos = b.infos[:0]
+	}
+	return b.total
+}
+
+// Pending returns the number of buffered, not yet flushed triples.
+func (b *TripleBatcher) Pending() int { return len(b.triples) }

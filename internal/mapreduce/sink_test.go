@@ -1,0 +1,73 @@
+package mapreduce
+
+import (
+	"fmt"
+	"testing"
+
+	"kbharvest/internal/core"
+	"kbharvest/internal/rdf"
+)
+
+func TestTripleBatcherFlushesAtSize(t *testing.T) {
+	st := core.NewStore()
+	b := NewTripleBatcher(st, 4)
+	for i := 0; i < 10; i++ {
+		b.Emit(rdf.T(fmt.Sprintf("kb:s%d", i), "kb:p", "kb:o"),
+			core.FactInfo{Confidence: 0.5, Source: "batcher"})
+	}
+	if st.Len() != 8 { // two full batches of 4 auto-flushed
+		t.Errorf("before Flush: Len = %d, want 8", st.Len())
+	}
+	if b.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", b.Pending())
+	}
+	if total := b.Flush(); total != 10 {
+		t.Errorf("Flush total = %d, want 10", total)
+	}
+	if st.Len() != 10 {
+		t.Errorf("after Flush: Len = %d, want 10", st.Len())
+	}
+	if total := b.Flush(); total != 10 { // idempotent when empty
+		t.Errorf("second Flush total = %d, want 10", total)
+	}
+	// Metadata must have arrived with the facts.
+	id, ok := st.FactOf(rdf.T("kb:s0", "kb:p", "kb:o"))
+	if !ok {
+		t.Fatal("fact missing")
+	}
+	if info, _ := st.Info(id); info.Source != "batcher" || info.Confidence != 0.5 {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestTripleBatcherAsReducerSink(t *testing.T) {
+	// One batcher per reduce partition, flushed after the job: the
+	// intended wiring for store-backed reduce outputs.
+	st := core.NewStore()
+	inputs := make([]interface{}, 50)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	mapper := func(rec interface{}, emit func(string, interface{})) error {
+		i := rec.(int)
+		emit(fmt.Sprintf("kb:e%d", i%10), i)
+		return nil
+	}
+	b := NewTripleBatcher(st, 16)
+	var mu = make(chan struct{}, 1)
+	reducer := func(key string, values []interface{}, emit func(interface{})) error {
+		mu <- struct{}{}
+		b.Emit(rdf.T(key, "kb:count", fmt.Sprintf("%d", len(values))),
+			core.FactInfo{Confidence: 1, Source: "mapreduce"})
+		<-mu
+		emit(len(values))
+		return nil
+	}
+	if _, err := Run(inputs, mapper, reducer, Config{Workers: 4, Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b.Flush()
+	if st.Len() != 10 {
+		t.Errorf("Len = %d, want 10", st.Len())
+	}
+}

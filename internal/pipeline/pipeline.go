@@ -160,13 +160,20 @@ func harvestTaxonomy(res *Result) {
 	for _, a := range res.Corpus.Articles {
 		pages = append(pages, taxonomy.Page{Subject: a.Subject, Categories: a.Categories})
 	}
-	for _, tf := range taxonomy.HarvestTypes(pages) {
-		id := res.KB.AddType(tf.Entity, classIRI(tf.ClassNoun))
-		res.KB.SetInfo(id, core.FactInfo{Confidence: 0.95, Source: "category:" + tf.Category, Time: core.Always})
+	typeFacts := taxonomy.HarvestTypes(pages)
+	ts := make([]rdf.Triple, 0, len(typeFacts))
+	infos := make([]core.FactInfo, 0, len(typeFacts))
+	for _, tf := range typeFacts {
+		ts = append(ts, rdf.T(tf.Entity, rdf.RDFType, classIRI(tf.ClassNoun)))
+		infos = append(infos, core.FactInfo{Confidence: 0.95, Source: "category:" + tf.Category, Time: core.Always})
 	}
-	for _, e := range taxonomy.InduceSubclasses(res.Corpus.CategoryParents) {
-		res.KB.AddSubclass(classIRI(e.Sub), classIRI(e.Super))
+	res.KB.AddBatchMeta(ts, infos)
+	edges := taxonomy.InduceSubclasses(res.Corpus.CategoryParents)
+	ts = ts[:0]
+	for _, e := range edges {
+		ts = append(ts, rdf.T(classIRI(e.Sub), rdf.RDFSSubClassOf, classIRI(e.Super)))
 	}
+	res.KB.AddBatch(ts)
 }
 
 func classIRI(noun string) string { return "kb:" + noun }
@@ -296,35 +303,39 @@ func assertFacts(res *Result, accepted []extract.Candidate, opt Options) {
 			}
 		}
 	}
-	for _, c := range accepted {
-		id := res.KB.Add(rdf.T(c.S, c.P, c.O))
-		info := core.FactInfo{Confidence: c.Confidence, Source: c.Source, Time: core.Always}
+	ts := make([]rdf.Triple, len(accepted))
+	infos := make([]core.FactInfo, len(accepted))
+	for i, c := range accepted {
+		ts[i] = c.Triple()
+		infos[i] = core.FactInfo{Confidence: c.Confidence, Source: c.Source, Time: core.Always}
 		if ivs := scopes[c.Key()]; len(ivs) > 0 {
 			if iv, ok := temporal.AggregateScopes(ivs); ok {
-				info.Time = iv
+				infos[i].Time = iv
 			}
 		}
-		res.KB.SetInfo(id, info)
 	}
+	res.KB.AddBatchMeta(ts, infos)
 }
 
 // assertLabels copies the multilingual labels and aliases from the world
 // metadata (standing in for interwiki harvesting).
 func assertLabels(res *Result) {
+	var ts []rdf.Triple
 	for _, e := range res.World.Entities {
 		for lang, name := range e.Labels {
-			res.KB.Add(rdf.Triple{
+			ts = append(ts, rdf.Triple{
 				S: rdf.NewIRI(e.ID), P: rdf.NewIRI(rdf.RDFSLabel),
 				O: rdf.NewLangLiteral(name, lang),
 			})
 		}
 		for _, a := range e.Aliases {
-			res.KB.Add(rdf.Triple{
+			ts = append(ts, rdf.Triple{
 				S: rdf.NewIRI(e.ID), P: rdf.NewIRI(rdf.SKOSAltLabel),
 				O: rdf.NewLangLiteral(a, "en"),
 			})
 		}
 	}
+	res.KB.AddBatch(ts)
 }
 
 // buildNEDModels wires dictionary, context, and relatedness models from

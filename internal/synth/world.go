@@ -220,9 +220,11 @@ func (w *World) buildTaxonomy() {
 		{ClassSmartphone, ClassProduct},
 		{ClassAward, ClassEntity},
 	}
-	for _, p := range pairs {
-		w.Truth.AddSubclass(p[0], p[1])
+	ts := make([]rdf.Triple, len(pairs))
+	for i, p := range pairs {
+		ts[i] = rdf.T(p[0], rdf.RDFSSubClassOf, p[1])
 	}
+	w.Truth.AddBatch(ts)
 }
 
 // TaxonomyPairs returns the gold subclass edges (sub, super), sorted.
@@ -490,6 +492,7 @@ func (w *World) addFact(f Fact) {
 var labelLangs = []string{"en", "de", "fr", "es"}
 
 func (w *World) assertLabels() {
+	var ts []rdf.Triple
 	for _, e := range w.Entities {
 		e.Labels = make(map[string]string, len(labelLangs))
 		for _, lang := range labelLangs {
@@ -498,18 +501,19 @@ func (w *World) assertLabels() {
 				name = translit(e.Name, lang)
 			}
 			e.Labels[lang] = name
-			w.Truth.Add(rdf.Triple{
+			ts = append(ts, rdf.Triple{
 				S: rdf.NewIRI(e.ID), P: rdf.NewIRI(rdf.RDFSLabel),
 				O: rdf.NewLangLiteral(name, lang),
 			})
 		}
 		for _, a := range e.Aliases {
-			w.Truth.Add(rdf.Triple{
+			ts = append(ts, rdf.Triple{
 				S: rdf.NewIRI(e.ID), P: rdf.NewIRI(rdf.SKOSAltLabel),
 				O: rdf.NewLangLiteral(a, "en"),
 			})
 		}
 	}
+	w.Truth.AddBatch(ts)
 }
 
 // HasFact reports whether (s,p,o) is ground truth.
