@@ -8,6 +8,7 @@ package kbharvest
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -269,7 +270,7 @@ func BenchmarkWalkSAT(b *testing.B) {
 }
 
 func BenchmarkNEDJoint(b *testing.B) {
-	res, err := pipeline.Run(pipeline.Options{
+	res, err := pipeline.Run(context.Background(), pipeline.Options{
 		World: synth.Config{
 			People: 100, Companies: 25, Cities: 12, Countries: 4,
 			Universities: 8, Products: 20, Prizes: 6,
@@ -327,7 +328,7 @@ func BenchmarkPipelineSmall(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pipeline.Run(opt); err != nil {
+		if _, err := pipeline.Run(context.Background(), opt); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,13 +9,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"kbharvest/internal/core"
 	"kbharvest/internal/eval"
+	"kbharvest/internal/ingest"
 	"kbharvest/internal/pipeline"
 	"kbharvest/internal/rdf"
 	"kbharvest/internal/synth"
@@ -27,7 +30,8 @@ func main() {
 	out := flag.String("out", "", "snapshot output path (default: stdout off)")
 	scale := flag.Float64("scale", 1.0, "world scale factor")
 	seed := flag.Int64("seed", 42, "generation seed")
-	workers := flag.Int("workers", 4, "extraction parallelism")
+	workers := flag.Int("workers", 0, "extraction parallelism (0 = all cores)")
+	queueDepth := flag.Int("ingest-queue", 0, "write-behind ingest queue depth in batches (0 = default)")
 	noReason := flag.Bool("no-reason", false, "disable consistency reasoning")
 	reify := flag.String("reify", "", "also export SPOTL-style reified facts (metadata as triples) to this path")
 	check := flag.Bool("check", false, "reload the written snapshot and verify the fact count round-trips")
@@ -36,13 +40,20 @@ func main() {
 		log.Fatal("-check requires -out")
 	}
 
+	// Ctrl-C cancels the pipeline run cleanly instead of killing the
+	// process mid-write: the stage loop, map-reduce workers, and the
+	// write-behind ingest queue are all context-aware.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opt := pipeline.DefaultOptions()
 	opt.World = synth.DefaultConfig().Scaled(*scale)
 	opt.Seed = *seed
 	opt.Workers = *workers
 	opt.Reason = !*noReason
+	opt.Ingest = ingest.Options{QueueDepth: *queueDepth}
 
-	res, err := pipeline.Run(opt)
+	res, err := pipeline.Run(ctx, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +65,7 @@ func main() {
 	tp, fp, fn := pipeline.EvaluateFacts(res)
 	fmt.Printf("fact quality vs ground truth: %v\n", eval.Score(tp, fp, fn))
 	for _, st := range res.Timings {
-		fmt.Printf("  stage %-10s %v\n", st.Stage, st.Duration.Round(1e6))
+		fmt.Printf("  stage %-10s %8v  %6d items\n", st.Stage, st.Duration.Round(1e6), st.Items)
 	}
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -58,7 +59,7 @@ func main() {
 	opt := pipeline.DefaultOptions()
 	opt.World = synth.DefaultConfig().Scaled(*scale)
 	opt.Seed = *seed
-	res, err := pipeline.Run(opt)
+	res, err := pipeline.Run(context.Background(), opt)
 	if err != nil {
 		log.Fatal(err)
 	}

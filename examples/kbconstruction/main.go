@@ -30,7 +30,7 @@ func main() {
 
 	fmt.Println("=== stage timings")
 	for _, st := range result.Timings {
-		fmt.Printf("  %-10s %v\n", st.Stage, st.Duration.Round(1e6))
+		fmt.Printf("  %-10s %8v  %6d items\n", st.Stage, st.Duration.Round(1e6), st.Items)
 	}
 
 	fmt.Println("\n=== corpus (the raw material)")

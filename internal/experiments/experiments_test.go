@@ -149,7 +149,7 @@ func TestE7Shape(t *testing.T) {
 
 func TestE8Shape(t *testing.T) {
 	tabs := E8MapReduce()
-	if len(tabs) != 2 {
+	if len(tabs) != 3 {
 		t.Fatalf("E8 tables = %d", len(tabs))
 	}
 	rows := tabs[0].Rows
@@ -188,6 +188,20 @@ func TestE8Shape(t *testing.T) {
 		t.Logf("E8b workers=%s batch/add=%s", row[0], row[6])
 		if ratio := parseCell(t, row[6]); ratio < 0.5 {
 			t.Errorf("E8b batch/add ratio = %v at %s workers", ratio, row[0])
+		}
+	}
+	// E8c: write-behind ingestion overlaps store writes with producer work,
+	// so it must not lose badly to inline synchronous batching. As with E8b,
+	// single-core machines cannot show the overlap win, so this only guards
+	// against a catastrophic regression in the async path.
+	crows := tabs[2].Rows
+	if len(crows) != 3 {
+		t.Fatalf("E8c rows = %d", len(crows))
+	}
+	for _, row := range crows {
+		t.Logf("E8c producers=%s async/sync=%s", row[0], row[6])
+		if ratio := parseCell(t, row[6]); ratio < 0.5 {
+			t.Errorf("E8c async/sync ratio = %v at %s producers", ratio, row[0])
 		}
 	}
 }

@@ -5,9 +5,17 @@
 // hash-partitioned shuffle, optional combiners, reducers — with a bounded
 // worker pool, so extraction jobs can demonstrate near-linear scaling with
 // worker count (experiment E8).
+//
+// Jobs are context-aware and cancellable: map and reduce workers check the
+// context between records and between keys, so Run returns promptly with
+// the context error once it is cancelled. Besides the slice entry point
+// (Run), RunStream consumes records from a channel, letting callers feed
+// inputs as they are produced instead of materializing the whole input in
+// one []interface{} up front.
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -59,18 +67,34 @@ func NewJob(m MapFunc, r ReduceFunc, cfg Config) *Job {
 }
 
 // Run executes the job over the input records and returns the reducer
-// outputs grouped by key, sorted by key for determinism.
-func (j *Job) Run(inputs []interface{}) ([]KV, error) {
-	parts, err := j.mapPhase(inputs)
+// outputs grouped by key, sorted by key for determinism. Cancelling the
+// context aborts the job between records/keys with the context error.
+func (j *Job) Run(ctx context.Context, inputs []interface{}) ([]KV, error) {
+	parts, err := j.mapPhase(ctx, inputs, nil)
 	if err != nil {
 		return nil, err
 	}
-	return j.reducePhase(parts)
+	return j.reducePhase(ctx, parts)
+}
+
+// RunStream is Run over a record channel: map workers pull records as they
+// arrive, so the caller can generate inputs incrementally (and stop early
+// on cancellation) instead of boxing the entire input into one slice.
+// Record-to-worker assignment is scheduling-dependent, so jobs whose
+// reducers are order-sensitive within a key should use Run.
+func (j *Job) RunStream(ctx context.Context, records <-chan interface{}) ([]KV, error) {
+	parts, err := j.mapPhase(ctx, nil, records)
+	if err != nil {
+		return nil, err
+	}
+	return j.reducePhase(ctx, parts)
 }
 
 // mapPhase fans inputs over workers; each worker keeps per-partition
-// buffers to avoid lock contention, merged at the end.
-func (j *Job) mapPhase(inputs []interface{}) ([]map[string][]interface{}, error) {
+// buffers to avoid lock contention, merged at the end. Records come from
+// the slice (strided, deterministic assignment) or, if records != nil,
+// from the channel (dynamic assignment).
+func (j *Job) mapPhase(ctx context.Context, inputs []interface{}, records <-chan interface{}) ([]map[string][]interface{}, error) {
 	nw := j.cfg.Workers
 	type workerState struct {
 		parts []map[string][]interface{}
@@ -91,11 +115,35 @@ func (j *Job) mapPhase(inputs []interface{}) ([]map[string][]interface{}, error)
 				p := partitionOf(key, j.cfg.Partitions)
 				st.parts[p][key] = append(st.parts[p][key], value)
 			}
-			for i := w; i < len(inputs); i += nw {
-				if err := j.mapFn(inputs[i], emit); err != nil {
-					st.err = fmt.Errorf("mapreduce: map record %d: %w", i, err)
-					return
+			mapRecords := func() error {
+				if records != nil {
+					for n := 0; ; n++ {
+						select {
+						case <-ctx.Done():
+							return fmt.Errorf("mapreduce: map: %w", ctx.Err())
+						case rec, ok := <-records:
+							if !ok {
+								return nil
+							}
+							if err := j.mapFn(rec, emit); err != nil {
+								return fmt.Errorf("mapreduce: map record (worker %d, #%d): %w", w, n, err)
+							}
+						}
+					}
 				}
+				for i := w; i < len(inputs); i += nw {
+					if err := ctx.Err(); err != nil {
+						return fmt.Errorf("mapreduce: map: %w", err)
+					}
+					if err := j.mapFn(inputs[i], emit); err != nil {
+						return fmt.Errorf("mapreduce: map record %d: %w", i, err)
+					}
+				}
+				return nil
+			}
+			if err := mapRecords(); err != nil {
+				st.err = err
+				return
 			}
 			if j.cfg.Combiner != nil {
 				for p := range st.parts {
@@ -140,7 +188,7 @@ func combine(c ReduceFunc, part map[string][]interface{}) (map[string][]interfac
 	return out, nil
 }
 
-func (j *Job) reducePhase(parts []map[string][]interface{}) ([]KV, error) {
+func (j *Job) reducePhase(ctx context.Context, parts []map[string][]interface{}) ([]KV, error) {
 	nw := j.cfg.Workers
 	results := make([][]KV, len(parts))
 	errs := make([]error, len(parts))
@@ -158,6 +206,10 @@ func (j *Job) reducePhase(parts []map[string][]interface{}) ([]KV, error) {
 			}
 			sort.Strings(keys)
 			for _, k := range keys {
+				if err := ctx.Err(); err != nil {
+					errs[p] = fmt.Errorf("mapreduce: reduce: %w", err)
+					return
+				}
 				err := j.reduceFn(k, parts[p][k], func(v interface{}) {
 					results[p] = append(results[p], KV{Key: k, Value: v})
 				})
@@ -189,8 +241,13 @@ func partitionOf(key string, n int) int {
 }
 
 // Run is the convenience one-shot entry point.
-func Run(inputs []interface{}, m MapFunc, r ReduceFunc, cfg Config) ([]KV, error) {
-	return NewJob(m, r, cfg).Run(inputs)
+func Run(ctx context.Context, inputs []interface{}, m MapFunc, r ReduceFunc, cfg Config) ([]KV, error) {
+	return NewJob(m, r, cfg).Run(ctx, inputs)
+}
+
+// RunStream is the convenience one-shot entry point for channel inputs.
+func RunStream(ctx context.Context, records <-chan interface{}, m MapFunc, r ReduceFunc, cfg Config) ([]KV, error) {
+	return NewJob(m, r, cfg).RunStream(ctx, records)
 }
 
 // CountReducer sums integer values — the standard counting reducer, usable

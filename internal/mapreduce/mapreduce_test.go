@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -24,7 +25,7 @@ func TestWordCount(t *testing.T) {
 		"the lazy dog",
 		"the quick dog",
 	}
-	got, err := Run(inputs, wordCountMapper, CountReducer, Config{Workers: 4})
+	got, err := Run(context.Background(), inputs, wordCountMapper, CountReducer, Config{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestWordCount(t *testing.T) {
 
 func TestOutputSortedByKey(t *testing.T) {
 	inputs := []interface{}{"b a c", "c b a"}
-	got, err := Run(inputs, wordCountMapper, CountReducer, Config{Workers: 3, Partitions: 5})
+	got, err := Run(context.Background(), inputs, wordCountMapper, CountReducer, Config{Workers: 3, Partitions: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,11 +57,11 @@ func TestCombinerEquivalence(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		inputs = append(inputs, "alpha beta gamma alpha")
 	}
-	plain, err := Run(inputs, wordCountMapper, CountReducer, Config{Workers: 4})
+	plain, err := Run(context.Background(), inputs, wordCountMapper, CountReducer, Config{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	combined, err := Run(inputs, wordCountMapper, CountReducer, Config{Workers: 4, Combiner: CountReducer})
+	combined, err := Run(context.Background(), inputs, wordCountMapper, CountReducer, Config{Workers: 4, Combiner: CountReducer})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,12 +75,12 @@ func TestWorkerCountsAgree(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		inputs = append(inputs, "x y z w v u t s")
 	}
-	base, err := Run(inputs, wordCountMapper, CountReducer, Config{Workers: 1})
+	base, err := Run(context.Background(), inputs, wordCountMapper, CountReducer, Config{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 8} {
-		got, err := Run(inputs, wordCountMapper, CountReducer, Config{Workers: workers})
+		got, err := Run(context.Background(), inputs, wordCountMapper, CountReducer, Config{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,7 +92,7 @@ func TestWorkerCountsAgree(t *testing.T) {
 
 func TestMapErrorPropagates(t *testing.T) {
 	inputs := []interface{}{"ok", 42} // 42 is not a string
-	_, err := Run(inputs, wordCountMapper, CountReducer, Config{Workers: 2})
+	_, err := Run(context.Background(), inputs, wordCountMapper, CountReducer, Config{Workers: 2})
 	if err == nil {
 		t.Fatal("expected map error")
 	}
@@ -108,7 +109,7 @@ func TestReduceErrorPropagates(t *testing.T) {
 		}
 		return CountReducer(key, values, emit)
 	}
-	_, err := Run(inputs, wordCountMapper, bad, Config{Workers: 2})
+	_, err := Run(context.Background(), inputs, wordCountMapper, bad, Config{Workers: 2})
 	if err == nil || !strings.Contains(err.Error(), "reduce key") {
 		t.Errorf("expected reduce error, got %v", err)
 	}
@@ -119,13 +120,13 @@ func TestCountReducerTypeError(t *testing.T) {
 		emit("k", "not an int")
 		return nil
 	}
-	if _, err := Run([]interface{}{"x"}, m, CountReducer, Config{}); err == nil {
+	if _, err := Run(context.Background(), []interface{}{"x"}, m, CountReducer, Config{}); err == nil {
 		t.Error("expected type error from CountReducer")
 	}
 }
 
 func TestEmptyInput(t *testing.T) {
-	got, err := Run(nil, wordCountMapper, CountReducer, Config{Workers: 2})
+	got, err := Run(context.Background(), nil, wordCountMapper, CountReducer, Config{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestMultipleEmitsPerReduce(t *testing.T) {
 		}
 		return nil
 	}
-	got, err := Run([]interface{}{"a", "b", "c"}, m, r, Config{Workers: 2})
+	got, err := Run(context.Background(), []interface{}{"a", "b", "c"}, m, r, Config{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,5 +159,58 @@ func TestDefaultConfig(t *testing.T) {
 	j := NewJob(wordCountMapper, CountReducer, Config{})
 	if j.cfg.Workers <= 0 || j.cfg.Partitions <= 0 {
 		t.Errorf("defaults not applied: %+v", j.cfg)
+	}
+}
+
+func TestRunStreamMatchesRun(t *testing.T) {
+	var inputs []interface{}
+	for i := 0; i < 100; i++ {
+		inputs = append(inputs, "stream the quick stream fox")
+	}
+	want, err := Run(context.Background(), inputs, wordCountMapper, CountReducer, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan interface{}, 3)
+	go func() {
+		defer close(ch)
+		for _, in := range inputs {
+			ch <- in
+		}
+	}()
+	got, err := RunStream(context.Background(), ch, wordCountMapper, CountReducer, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("stream results differ:\n%v\nvs\n%v", want, got)
+	}
+}
+
+func TestRunStreamMapError(t *testing.T) {
+	ch := make(chan interface{}, 2)
+	ch <- "ok"
+	ch <- 42 // not a string
+	close(ch)
+	_, err := RunStream(context.Background(), ch, wordCountMapper, CountReducer, Config{Workers: 2})
+	if err == nil || !strings.Contains(err.Error(), "map record") {
+		t.Errorf("expected map error, got %v", err)
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var inputs []interface{}
+	for i := 0; i < 100; i++ {
+		inputs = append(inputs, "a b c")
+	}
+	if _, err := Run(ctx, inputs, wordCountMapper, CountReducer, Config{Workers: 2}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Run with cancelled ctx = %v, want context.Canceled", err)
+	}
+	// RunStream must not hang on an open, empty channel once cancelled.
+	ch := make(chan interface{})
+	if _, err := RunStream(ctx, ch, wordCountMapper, CountReducer, Config{Workers: 2}); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunStream with cancelled ctx = %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -63,7 +64,7 @@ func TestTripleBatcherAsReducerSink(t *testing.T) {
 		emit(len(values))
 		return nil
 	}
-	if _, err := Run(inputs, mapper, reducer, Config{Workers: 4, Partitions: 1}); err != nil {
+	if _, err := Run(context.Background(), inputs, mapper, reducer, Config{Workers: 4, Partitions: 1}); err != nil {
 		t.Fatal(err)
 	}
 	b.Flush()

@@ -1,18 +1,40 @@
 // Package pipeline assembles the full knowledge-base construction system
-// of the tutorial (§2 + §3): synthetic world and corpus in, curated KB
-// out. Stages: taxonomy harvesting from categories, fact extraction
-// (infoboxes + surface patterns, optionally distributed over the
-// map-reduce engine), logical consistency reasoning, temporal scoping,
-// multilingual labels, and the NED models for downstream analytics (§4).
+// of the tutorial (§2 + §3) as a streaming, cancellable data flow:
+// synthetic world and corpus in, curated KB out. Stages — generate,
+// taxonomy harvesting from categories, fact extraction (infoboxes +
+// surface patterns over the map-reduce engine), logical consistency
+// reasoning, temporal scoping, multilingual labels, and the NED models for
+// downstream analytics (§4) — run under one context.Context and are
+// timed and counted uniformly (see StageTiming).
+//
+// The write path is asynchronous: stages do not call the store's batch API
+// directly but emit facts through a write-behind ingest.Ingester, whose
+// dedicated drainer goroutines batch them into core.Store.AddBatchMeta.
+// Producers therefore never block on store lock acquisition (only on
+// queue backpressure), and stages that must observe earlier writes — the
+// reasoner reads the harvested taxonomy — get visibility from an explicit
+// Ingester.Flush at the end of each writing stage rather than a global
+// barrier. Extraction likewise streams: documents are fed to the
+// map-reduce job through a channel as they are rendered, never
+// materialized as one boxed input slice, and the sentence-level temporal
+// scope candidates are carried out of the extract stage so temporal
+// scoping does not re-run extraction.
+//
+// Cancelling the context makes Run return promptly with a context error:
+// the map-reduce workers, the ingest queue, and the stage loop all check
+// it.
 package pipeline
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"kbharvest/internal/core"
 	"kbharvest/internal/extract"
 	"kbharvest/internal/extract/patterns"
+	"kbharvest/internal/ingest"
 	"kbharvest/internal/mapreduce"
 	"kbharvest/internal/ned"
 	"kbharvest/internal/rdf"
@@ -30,7 +52,8 @@ type Options struct {
 	Seed int64
 	// Corpus tunes the article renderer; zero value means defaults.
 	Corpus synth.CorpusOptions
-	// Workers is the extraction parallelism (map-reduce). Default 1.
+	// Workers is the extraction parallelism (map-reduce). Values <= 0
+	// default to runtime.GOMAXPROCS(0), matching mapreduce.Config.
 	Workers int
 	// Reason toggles the consistency-reasoning stage.
 	Reason bool
@@ -38,25 +61,34 @@ type Options struct {
 	Infoboxes bool
 	// Temporal toggles fact time-scoping.
 	Temporal bool
+	// Ingest tunes the write-behind ingestion layer (per-producer batch
+	// size, queue depth, drainer count). Zero value means defaults.
+	Ingest ingest.Options
 }
 
-// DefaultOptions enables every stage at default scale.
+// DefaultOptions enables every stage at default scale. Workers defaults to
+// runtime.GOMAXPROCS(0) — the full machine — like the map-reduce engine;
+// set it explicitly to throttle extraction parallelism.
 func DefaultOptions() Options {
 	return Options{
 		World:     synth.DefaultConfig(),
 		Seed:      42,
 		Corpus:    synth.DefaultCorpusOptions(),
-		Workers:   1,
+		Workers:   runtime.GOMAXPROCS(0),
 		Reason:    true,
 		Infoboxes: true,
 		Temporal:  true,
 	}
 }
 
-// StageTiming records one stage's wall-clock cost.
+// StageTiming records one stage's wall-clock cost and output size.
 type StageTiming struct {
 	Stage    string
 	Duration time.Duration
+	// Items counts the stage's output units: articles generated, taxonomy
+	// facts harvested, candidates extracted, candidates accepted, facts
+	// asserted, label triples, NED-model documents.
+	Items int
 }
 
 // Result is the pipeline output.
@@ -76,127 +108,131 @@ type Result struct {
 	Relatedness *ned.Relatedness
 }
 
-// Run executes the pipeline.
-func Run(opt Options) (*Result, error) {
+// runState carries the intermediate products between stages.
+type runState struct {
+	res *Result
+	opt Options
+	ing *ingest.Ingester
+
+	cands    []extract.Candidate
+	scopes   map[string][]core.Interval
+	accepted []extract.Candidate
+	reasoned bool
+}
+
+// stage is one named, timed, cancellable unit of the pipeline. run returns
+// the number of items the stage produced.
+type stage struct {
+	name    string
+	enabled bool
+	run     func(ctx context.Context) (int, error)
+}
+
+// Run executes the pipeline under ctx. Cancelling ctx aborts the run
+// promptly — between stages, between map-reduce records, and inside the
+// ingest queue — returning the context error.
+func Run(ctx context.Context, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
 	if opt.World.People == 0 {
 		opt.World = synth.DefaultConfig()
 	}
 	if opt.Workers < 1 {
-		opt.Workers = 1
+		opt.Workers = runtime.GOMAXPROCS(0)
 	}
 	res := &Result{KB: core.NewStore()}
-	stage := func(name string, fn func() error) error {
+	st := &runState{res: res, opt: opt, ing: ingest.New(ctx, res.KB, opt.Ingest)}
+	defer st.ing.Close()
+
+	stages := []stage{
+		{"generate", true, st.generate},
+		{"taxonomy", true, st.taxonomy},
+		{"extract", true, st.extract},
+		{"reason", opt.Reason, st.reason},
+		{"assert", true, st.assert},
+		{"labels", true, st.labels},
+		{"nedmodels", true, st.nedModels},
+	}
+	for _, s := range stages {
+		if !s.enabled {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("pipeline: %s: %w", s.name, err)
+		}
 		t0 := time.Now()
-		if err := fn(); err != nil {
-			return fmt.Errorf("pipeline: %s: %w", name, err)
+		n, err := s.run(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %s: %w", s.name, err)
 		}
-		res.Timings = append(res.Timings, StageTiming{Stage: name, Duration: time.Since(t0)})
-		return nil
+		res.Timings = append(res.Timings, StageTiming{Stage: s.name, Duration: time.Since(t0), Items: n})
 	}
-
-	if err := stage("generate", func() error {
-		res.World = synth.Generate(opt.World, opt.Seed)
-		res.Corpus = synth.BuildCorpus(res.World, opt.Corpus)
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	if err := stage("taxonomy", func() error {
-		harvestTaxonomy(res)
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	var cands []extract.Candidate
-	if err := stage("extract", func() error {
-		var err error
-		cands, err = runExtraction(res, opt)
-		return err
-	}); err != nil {
-		return nil, err
-	}
-	res.Candidates = len(cands)
-
-	accepted := cands
-	if opt.Reason {
-		if err := stage("reason", func() error {
-			accepted = runReasoning(res, cands)
-			return nil
-		}); err != nil {
-			return nil, err
-		}
-	}
-	res.Accepted = len(accepted)
-
-	if err := stage("assert", func() error {
-		assertFacts(res, accepted, opt)
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	if err := stage("labels", func() error {
-		assertLabels(res)
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	if err := stage("nedmodels", func() error {
-		buildNEDModels(res)
-		return nil
-	}); err != nil {
-		return nil, err
+	if err := st.ing.Close(); err != nil {
+		return nil, fmt.Errorf("pipeline: ingest: %w", err)
 	}
 	return res, nil
 }
 
-// harvestTaxonomy runs category analysis over the corpus and asserts
-// types and subclass edges.
-func harvestTaxonomy(res *Result) {
-	var pages []taxonomy.Page
+// generate builds the synthetic world and renders its corpus.
+func (st *runState) generate(context.Context) (int, error) {
+	st.res.World = synth.Generate(st.opt.World, st.opt.Seed)
+	st.res.Corpus = synth.BuildCorpus(st.res.World, st.opt.Corpus)
+	return len(st.res.Corpus.Articles), nil
+}
+
+// taxonomy runs category analysis over the corpus and streams types and
+// subclass edges into the KB. It flushes the ingester before returning:
+// the reasoner's type checks read the harvested taxonomy.
+func (st *runState) taxonomy(context.Context) (int, error) {
+	res := st.res
+	pages := make([]taxonomy.Page, 0, len(res.Corpus.Articles))
 	for _, a := range res.Corpus.Articles {
 		pages = append(pages, taxonomy.Page{Subject: a.Subject, Categories: a.Categories})
 	}
 	typeFacts := taxonomy.HarvestTypes(pages)
-	ts := make([]rdf.Triple, 0, len(typeFacts))
-	infos := make([]core.FactInfo, 0, len(typeFacts))
-	for _, tf := range typeFacts {
-		ts = append(ts, rdf.T(tf.Entity, rdf.RDFType, classIRI(tf.ClassNoun)))
-		infos = append(infos, core.FactInfo{Confidence: 0.95, Source: "category:" + tf.Category, Time: core.Always})
+	// Same (entity, class) pair can arrive from several categories; keep
+	// the last, mirroring AddBatchMeta's last-wins metadata semantics
+	// deterministically even though batches drain concurrently.
+	last := make(map[string]int, len(typeFacts))
+	for i, tf := range typeFacts {
+		last[tf.Entity+"\x00"+tf.ClassNoun] = i
 	}
-	res.KB.AddBatchMeta(ts, infos)
+	p := st.ing.Producer()
+	for i, tf := range typeFacts {
+		if last[tf.Entity+"\x00"+tf.ClassNoun] != i {
+			continue
+		}
+		err := p.Emit(rdf.T(tf.Entity, rdf.RDFType, classIRI(tf.ClassNoun)),
+			core.FactInfo{Confidence: 0.95, Source: "category:" + tf.Category, Time: core.Always})
+		if err != nil {
+			return 0, err
+		}
+	}
 	edges := taxonomy.InduceSubclasses(res.Corpus.CategoryParents)
-	ts = ts[:0]
+	ts := make([]rdf.Triple, 0, len(edges))
 	for _, e := range edges {
 		ts = append(ts, rdf.T(classIRI(e.Sub), rdf.RDFSSubClassOf, classIRI(e.Super)))
 	}
 	res.KB.AddBatch(ts)
-}
-
-func classIRI(noun string) string { return "kb:" + noun }
-
-// Docs converts corpus articles into extraction documents with gold
-// mention annotations.
-func Docs(corpus *synth.Corpus) []extract.Doc {
-	docs := make([]extract.Doc, 0, len(corpus.Articles))
-	for _, a := range corpus.Articles {
-		d := extract.Doc{Text: a.Text, Source: a.ID}
-		for _, m := range a.Mentions {
-			d.Mentions = append(d.Mentions, extract.Span{Start: m.Start, End: m.End, Entity: m.Entity})
-		}
-		docs = append(docs, d)
+	if err := st.ing.Flush(); err != nil {
+		return 0, err
 	}
-	return docs
+	return len(typeFacts) + len(edges), nil
 }
 
-// runExtraction applies infobox and pattern extraction, fanned out over
-// the map-reduce engine when Workers > 1.
-func runExtraction(res *Result, opt Options) ([]extract.Candidate, error) {
+// extract applies infobox and pattern extraction. Documents stream into
+// the map-reduce job through a channel as they are adapted from corpus
+// articles, and — when temporal scoping is on — each sentence's time
+// scope is carried along with the candidates it yields, so the assert
+// stage never re-extracts.
+func (st *runState) extract(ctx context.Context) (int, error) {
+	res := st.res
 	var cands []extract.Candidate
-	if opt.Infoboxes {
+	if st.opt.Infoboxes {
 		var boxes []patterns.Infobox
 		for _, a := range res.Corpus.Articles {
 			if len(a.Infobox) > 0 {
@@ -211,51 +247,250 @@ func runExtraction(res *Result, opt Options) ([]extract.Candidate, error) {
 		}
 		cands = append(cands, patterns.HarvestInfoboxes(boxes, synth.InfoboxRelation, resolve)...)
 	}
-	textCands, err := ExtractMapReduce(Docs(res.Corpus), patterns.DefaultPatterns(), opt.Workers)
+	records := make(chan interface{}, st.opt.Workers)
+	go func() {
+		defer close(records)
+		for _, a := range res.Corpus.Articles {
+			select {
+			case records <- docOfArticle(a):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	textCands, scopes, err := extractStream(ctx, records, patterns.DefaultPatterns(), st.opt.Workers, st.opt.Temporal)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	return append(cands, textCands...), nil
+	st.cands = append(cands, textCands...)
+	st.scopes = scopes
+	res.Candidates = len(st.cands)
+	return len(st.cands), nil
+}
+
+// reason builds the consistency problem from the schema rules and the
+// harvested taxonomy, then solves it.
+func (st *runState) reason(context.Context) (int, error) {
+	st.accepted = runReasoning(st.res, st.cands)
+	st.reasoned = true
+	return len(st.accepted), nil
+}
+
+// assert streams accepted candidates into the KB with provenance and
+// (optionally) the temporal scope aggregated from the sentence-level
+// scopes collected during extraction, then flushes for visibility.
+func (st *runState) assert(context.Context) (int, error) {
+	if !st.reasoned {
+		st.accepted = st.cands // reasoning disabled: accept everything
+	}
+	st.res.Accepted = len(st.accepted)
+	// The same fact key can be accepted twice (infobox + pattern). Keep
+	// the last occurrence's metadata — what one big AddBatchMeta would
+	// have done — so the final provenance does not depend on which
+	// drainer writes which batch first.
+	last := make(map[string]int, len(st.accepted))
+	for i, c := range st.accepted {
+		last[c.Key()] = i
+	}
+	p := st.ing.Producer()
+	for i, c := range st.accepted {
+		if last[c.Key()] != i {
+			continue
+		}
+		info := core.FactInfo{Confidence: c.Confidence, Source: c.Source, Time: core.Always}
+		if ivs := st.scopes[c.Key()]; len(ivs) > 0 {
+			if iv, ok := temporal.AggregateScopes(ivs); ok {
+				info.Time = iv
+			}
+		}
+		if err := p.Emit(c.Triple(), info); err != nil {
+			return 0, err
+		}
+	}
+	if err := st.ing.Flush(); err != nil {
+		return 0, err
+	}
+	return len(st.accepted), nil
+}
+
+// labels copies the multilingual labels and aliases from the world
+// metadata (standing in for interwiki harvesting).
+func (st *runState) labels(context.Context) (int, error) {
+	res := st.res
+	var ts []rdf.Triple
+	for _, e := range res.World.Entities {
+		for lang, name := range e.Labels {
+			ts = append(ts, rdf.Triple{
+				S: rdf.NewIRI(e.ID), P: rdf.NewIRI(rdf.RDFSLabel),
+				O: rdf.NewLangLiteral(name, lang),
+			})
+		}
+		for _, a := range e.Aliases {
+			ts = append(ts, rdf.Triple{
+				S: rdf.NewIRI(e.ID), P: rdf.NewIRI(rdf.SKOSAltLabel),
+				O: rdf.NewLangLiteral(a, "en"),
+			})
+		}
+	}
+	res.KB.AddBatch(ts)
+	return len(ts), nil
+}
+
+// nedModels wires dictionary, context, and relatedness models from the
+// corpus — the §4 deliverable.
+func (st *runState) nedModels(context.Context) (int, error) {
+	res := st.res
+	b := ned.NewBuilder()
+	for _, e := range res.World.Entities {
+		b.Observe(e.Name, e.ID, 4)
+		for _, a := range e.Aliases {
+			b.Observe(a, e.ID, 1)
+		}
+	}
+	for _, a := range res.Corpus.Articles {
+		for _, m := range a.Mentions {
+			if m.Linked {
+				b.Observe(m.Surface, m.Entity, 2)
+			}
+		}
+	}
+	res.Dictionary = b.Build()
+	ctx := ned.NewContextModel()
+	rel := ned.NewRelatedness()
+	for _, a := range res.Corpus.Articles {
+		ctx.AddDocument(a.Subject, a.Text)
+		rel.AddLinks(a.ID, a.Links)
+	}
+	ctx.Finalize()
+	res.ContextMod = ctx
+	res.Relatedness = rel
+	return len(res.Corpus.Articles), nil
+}
+
+func classIRI(noun string) string { return "kb:" + noun }
+
+// docOfArticle adapts one corpus article to an extraction document with
+// gold mention annotations.
+func docOfArticle(a *synth.Article) extract.Doc {
+	d := extract.Doc{Text: a.Text, Source: a.ID}
+	for _, m := range a.Mentions {
+		d.Mentions = append(d.Mentions, extract.Span{Start: m.Start, End: m.End, Entity: m.Entity})
+	}
+	return d
+}
+
+// Docs converts corpus articles into extraction documents with gold
+// mention annotations.
+func Docs(corpus *synth.Corpus) []extract.Doc {
+	docs := make([]extract.Doc, 0, len(corpus.Articles))
+	for _, a := range corpus.Articles {
+		docs = append(docs, docOfArticle(a))
+	}
+	return docs
+}
+
+// scopedCandidate is the map-side extraction record: one candidate plus
+// the temporal scope of the sentence it came from, if any.
+type scopedCandidate struct {
+	cand   extract.Candidate
+	iv     core.Interval
+	scoped bool
+}
+
+// extractOut is the reduce-side output: the best candidate per fact key
+// and every sentence-level scope observed for it.
+type extractOut struct {
+	cand extract.Candidate
+	ivs  []core.Interval
 }
 
 // ExtractMapReduce runs pattern extraction as a map-reduce job: map =
-// per-document extraction, reduce = dedup by fact key keeping max
+// per-sentence extraction, reduce = dedup by fact key keeping max
 // confidence. This is the §3 "map-reduce computation" path, and the unit
-// experiment E8 scales over `workers`.
-func ExtractMapReduce(docs []extract.Doc, pats []patterns.SurfacePattern, workers int) ([]extract.Candidate, error) {
-	inputs := make([]interface{}, len(docs))
-	for i := range docs {
-		inputs[i] = docs[i]
-	}
+// experiment E8 scales over `workers`. Documents are fed to the job
+// through a channel; use extractStream via Run for scope collection.
+func ExtractMapReduce(ctx context.Context, docs []extract.Doc, pats []patterns.SurfacePattern, workers int) ([]extract.Candidate, error) {
+	records := make(chan interface{}, 1)
+	go func() {
+		defer close(records)
+		for _, d := range docs {
+			select {
+			case records <- d:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	cands, _, err := extractStream(ctx, records, pats, workers, false)
+	return cands, err
+}
+
+// extractStream is the streaming extraction core: it consumes extract.Doc
+// records from a channel, fans them over map-reduce workers, and returns
+// the deduped candidates (sorted by fact key) plus, when collectScopes is
+// set, the sentence-level temporal scopes per fact key.
+func extractStream(ctx context.Context, records <-chan interface{}, pats []patterns.SurfacePattern, workers int, collectScopes bool) ([]extract.Candidate, map[string][]core.Interval, error) {
 	mapper := func(record interface{}, emit func(string, interface{})) error {
 		doc, ok := record.(extract.Doc)
 		if !ok {
 			return fmt.Errorf("bad record type %T", record)
 		}
-		for _, c := range patterns.Apply(extract.SplitDoc(doc), pats) {
-			emit(c.Key(), c)
+		for _, sent := range extract.SplitDoc(doc) {
+			var iv core.Interval
+			scoped := false
+			if collectScopes {
+				iv, scoped = temporal.ScopeSentence(sent.Text)
+			}
+			for _, c := range patterns.Apply([]extract.Sentence{sent}, pats) {
+				emit(c.Key(), scopedCandidate{cand: c, iv: iv, scoped: scoped})
+			}
 		}
 		return nil
 	}
 	reducer := func(key string, values []interface{}, emit func(interface{})) error {
-		best := values[0].(extract.Candidate)
-		for _, v := range values[1:] {
-			if c := v.(extract.Candidate); c.Confidence > best.Confidence {
-				best = c
+		out := extractOut{cand: values[0].(scopedCandidate).cand}
+		for _, v := range values {
+			sc := v.(scopedCandidate)
+			if better(sc.cand, out.cand) {
+				out.cand = sc.cand
+			}
+			if sc.scoped {
+				out.ivs = append(out.ivs, sc.iv)
 			}
 		}
-		emit(best)
+		emit(out)
 		return nil
 	}
-	kvs, err := mapreduce.Run(inputs, mapper, reducer, mapreduce.Config{Workers: workers})
+	kvs, err := mapreduce.RunStream(ctx, records, mapper, reducer, mapreduce.Config{Workers: workers})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	out := make([]extract.Candidate, 0, len(kvs))
+	cands := make([]extract.Candidate, 0, len(kvs))
+	var scopes map[string][]core.Interval
+	if collectScopes {
+		scopes = make(map[string][]core.Interval, len(kvs))
+	}
 	for _, kv := range kvs {
-		out = append(out, kv.Value.(extract.Candidate))
+		out := kv.Value.(extractOut)
+		cands = append(cands, out.cand)
+		if collectScopes && len(out.ivs) > 0 {
+			scopes[kv.Key] = out.ivs
+		}
 	}
-	return out, nil
+	return cands, scopes, nil
+}
+
+// better orders candidates of one fact key: higher confidence wins, ties
+// break on (Source, Middle) so the winner is deterministic no matter how
+// records were scheduled over workers.
+func better(a, b extract.Candidate) bool {
+	if a.Confidence != b.Confidence {
+		return a.Confidence > b.Confidence
+	}
+	if a.Source != b.Source {
+		return a.Source < b.Source
+	}
+	return a.Middle < b.Middle
 }
 
 // runReasoning builds the consistency problem from the schema rules and
@@ -283,88 +518,6 @@ func runReasoning(res *Result, cands []extract.Candidate) []extract.Candidate {
 	cp := reason.BuildConsistency(cands, rules)
 	sol := cp.SolveWalkSAT(4*len(cands)+1000, 0.2, 7)
 	return cp.Accepted(sol)
-}
-
-// assertFacts writes accepted candidates into the KB with provenance and
-// (optionally) temporal scope mined from their source sentences.
-func assertFacts(res *Result, accepted []extract.Candidate, opt Options) {
-	// Collect per-fact sentence scopes for temporal aggregation.
-	scopes := map[string][]core.Interval{}
-	if opt.Temporal {
-		for _, doc := range Docs(res.Corpus) {
-			for _, sent := range extract.SplitDoc(doc) {
-				iv, ok := temporal.ScopeSentence(sent.Text)
-				if !ok {
-					continue
-				}
-				for _, c := range patterns.Apply([]extract.Sentence{sent}, patterns.DefaultPatterns()) {
-					scopes[c.Key()] = append(scopes[c.Key()], iv)
-				}
-			}
-		}
-	}
-	ts := make([]rdf.Triple, len(accepted))
-	infos := make([]core.FactInfo, len(accepted))
-	for i, c := range accepted {
-		ts[i] = c.Triple()
-		infos[i] = core.FactInfo{Confidence: c.Confidence, Source: c.Source, Time: core.Always}
-		if ivs := scopes[c.Key()]; len(ivs) > 0 {
-			if iv, ok := temporal.AggregateScopes(ivs); ok {
-				infos[i].Time = iv
-			}
-		}
-	}
-	res.KB.AddBatchMeta(ts, infos)
-}
-
-// assertLabels copies the multilingual labels and aliases from the world
-// metadata (standing in for interwiki harvesting).
-func assertLabels(res *Result) {
-	var ts []rdf.Triple
-	for _, e := range res.World.Entities {
-		for lang, name := range e.Labels {
-			ts = append(ts, rdf.Triple{
-				S: rdf.NewIRI(e.ID), P: rdf.NewIRI(rdf.RDFSLabel),
-				O: rdf.NewLangLiteral(name, lang),
-			})
-		}
-		for _, a := range e.Aliases {
-			ts = append(ts, rdf.Triple{
-				S: rdf.NewIRI(e.ID), P: rdf.NewIRI(rdf.SKOSAltLabel),
-				O: rdf.NewLangLiteral(a, "en"),
-			})
-		}
-	}
-	res.KB.AddBatch(ts)
-}
-
-// buildNEDModels wires dictionary, context, and relatedness models from
-// the corpus — the §4 deliverable.
-func buildNEDModels(res *Result) {
-	b := ned.NewBuilder()
-	for _, e := range res.World.Entities {
-		b.Observe(e.Name, e.ID, 4)
-		for _, a := range e.Aliases {
-			b.Observe(a, e.ID, 1)
-		}
-	}
-	for _, a := range res.Corpus.Articles {
-		for _, m := range a.Mentions {
-			if m.Linked {
-				b.Observe(m.Surface, m.Entity, 2)
-			}
-		}
-	}
-	res.Dictionary = b.Build()
-	ctx := ned.NewContextModel()
-	rel := ned.NewRelatedness()
-	for _, a := range res.Corpus.Articles {
-		ctx.AddDocument(a.Subject, a.Text)
-		rel.AddLinks(a.ID, a.Links)
-	}
-	ctx.Finalize()
-	res.ContextMod = ctx
-	res.Relatedness = rel
 }
 
 // Linker returns a ready AIDA-style linker over the pipeline's models.

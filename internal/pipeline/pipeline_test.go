@@ -1,15 +1,20 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
+	"time"
 
+	"kbharvest/internal/core"
 	"kbharvest/internal/eval"
 	"kbharvest/internal/extract"
 	"kbharvest/internal/extract/patterns"
 	"kbharvest/internal/ned"
 	"kbharvest/internal/rdf"
 	"kbharvest/internal/synth"
+	"kbharvest/internal/temporal"
 )
 
 func smallOptions(seed int64) Options {
@@ -28,7 +33,7 @@ func smallOptions(seed int64) Options {
 }
 
 func TestRunEndToEnd(t *testing.T) {
-	res, err := Run(smallOptions(91))
+	res, err := Run(context.Background(), smallOptions(91))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +59,7 @@ func TestRunEndToEnd(t *testing.T) {
 }
 
 func TestExtractionQuality(t *testing.T) {
-	res, err := Run(smallOptions(92))
+	res, err := Run(context.Background(), smallOptions(92))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,11 +79,11 @@ func TestReasoningImprovesPrecision(t *testing.T) {
 	noReason.Reason = false
 	withReason := smallOptions(93)
 
-	resNo, err := Run(noReason)
+	resNo, err := Run(context.Background(), noReason)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resYes, err := Run(withReason)
+	resYes, err := Run(context.Background(), withReason)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +98,7 @@ func TestReasoningImprovesPrecision(t *testing.T) {
 }
 
 func TestTaxonomyInKB(t *testing.T) {
-	res, err := Run(smallOptions(94))
+	res, err := Run(context.Background(), smallOptions(94))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +119,7 @@ func TestTaxonomyInKB(t *testing.T) {
 }
 
 func TestTemporalScopesInKB(t *testing.T) {
-	res, err := Run(smallOptions(95))
+	res, err := Run(context.Background(), smallOptions(95))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,12 +144,12 @@ func TestMapReduceWorkerEquivalence(t *testing.T) {
 	}, 96)
 	corpus := synth.BuildCorpus(w, synth.DefaultCorpusOptions())
 	docs := Docs(corpus)
-	base, err := ExtractMapReduce(docs, patterns.DefaultPatterns(), 1)
+	base, err := ExtractMapReduce(context.Background(), docs, patterns.DefaultPatterns(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 8} {
-		got, err := ExtractMapReduce(docs, patterns.DefaultPatterns(), workers)
+		got, err := ExtractMapReduce(context.Background(), docs, patterns.DefaultPatterns(), workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,7 +160,7 @@ func TestMapReduceWorkerEquivalence(t *testing.T) {
 }
 
 func TestLinkerFromPipeline(t *testing.T) {
-	res, err := Run(smallOptions(97))
+	res, err := Run(context.Background(), smallOptions(97))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,11 +177,11 @@ func TestLinkerFromPipeline(t *testing.T) {
 }
 
 func TestDeterministicRuns(t *testing.T) {
-	a, err := Run(smallOptions(98))
+	a, err := Run(context.Background(), smallOptions(98))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(smallOptions(98))
+	b, err := Run(context.Background(), smallOptions(98))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,12 +221,110 @@ func TestRunDefaultsZeroValueWorld(t *testing.T) {
 	// A zero-valued World config falls back to the default world rather
 	// than producing an empty pipeline.
 	opt := Options{Seed: 100, Workers: 4, Infoboxes: true}
-	res, err := Run(opt)
+	res, err := Run(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.World.Entities) == 0 || res.KB.Len() == 0 {
 		t.Error("zero-value options should build the default world")
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := Run(ctx, smallOptions(101))
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run with cancelled ctx = (%v, %v), want context.Canceled", res, err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Errorf("cancelled Run took %v, want prompt return", took)
+	}
+}
+
+func TestRunCancelMidway(t *testing.T) {
+	// Cancelling during the run must abort with a context error rather
+	// than completing or hanging; the exact stage it dies in is timing
+	// dependent.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, smallOptions(102))
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("mid-run cancel returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+}
+
+func TestStageItemsCounted(t *testing.T) {
+	res, err := Run(context.Background(), smallOptions(103))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := map[string]int{}
+	for _, s := range res.Timings {
+		items[s.Stage] = s.Items
+	}
+	if items["generate"] != len(res.Corpus.Articles) {
+		t.Errorf("generate items = %d, want %d articles", items["generate"], len(res.Corpus.Articles))
+	}
+	if items["extract"] != res.Candidates {
+		t.Errorf("extract items = %d, want %d candidates", items["extract"], res.Candidates)
+	}
+	if items["reason"] != res.Accepted || items["assert"] != res.Accepted {
+		t.Errorf("reason/assert items = %d/%d, want %d accepted",
+			items["reason"], items["assert"], res.Accepted)
+	}
+	for _, stage := range []string{"taxonomy", "labels", "nedmodels"} {
+		if items[stage] == 0 {
+			t.Errorf("stage %s counted no items", stage)
+		}
+	}
+}
+
+func TestScopesMatchReextraction(t *testing.T) {
+	// The scope candidates carried out of the extract stage must aggregate
+	// to the same intervals the old per-sentence re-extraction produced.
+	res, err := Run(context.Background(), smallOptions(104))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]core.Interval{}
+	for _, doc := range Docs(res.Corpus) {
+		for _, sent := range extract.SplitDoc(doc) {
+			iv, ok := temporal.ScopeSentence(sent.Text)
+			if !ok {
+				continue
+			}
+			for _, c := range patterns.Apply([]extract.Sentence{sent}, patterns.DefaultPatterns()) {
+				want[c.Key()] = append(want[c.Key()], iv)
+			}
+		}
+	}
+	for _, rel := range relationIRIs() {
+		res.KB.MatchFunc(rdf.Triple{P: rdf.NewIRI(rel)}, func(id core.FactID, tr rdf.Triple) bool {
+			info, _ := res.KB.Info(id)
+			key := tr.S.Value + "\x00" + rel + "\x00" + tr.O.Value
+			wantTime := core.Always
+			if ivs := want[key]; len(ivs) > 0 {
+				if iv, ok := temporal.AggregateScopes(ivs); ok {
+					wantTime = iv
+				}
+			}
+			if info.Time != wantTime {
+				t.Errorf("fact %s scope = %v, want %v", key, info.Time, wantTime)
+			}
+			return true
+		})
 	}
 }
 

@@ -24,6 +24,7 @@
 package kbharvest
 
 import (
+	"context"
 	"io"
 
 	"kbharvest/internal/core"
@@ -77,7 +78,16 @@ func DefaultBuildOptions() BuildOptions { return pipeline.DefaultOptions() }
 // Build runs the full construction pipeline: synthetic world and corpus,
 // taxonomy harvesting, fact extraction, consistency reasoning, temporal
 // scoping, labels, and NED model building.
-func Build(opt BuildOptions) (*BuildResult, error) { return pipeline.Run(opt) }
+func Build(opt BuildOptions) (*BuildResult, error) {
+	return pipeline.Run(context.Background(), opt)
+}
+
+// BuildContext is Build bounded by a context: cancelling ctx aborts the
+// run promptly — the extraction workers and the write-behind ingest queue
+// are cancellation-aware — returning the context error.
+func BuildContext(ctx context.Context, opt BuildOptions) (*BuildResult, error) {
+	return pipeline.Run(ctx, opt)
+}
 
 // NewIRI builds an IRI term.
 func NewIRI(iri string) Term { return rdf.NewIRI(iri) }
