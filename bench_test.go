@@ -21,6 +21,7 @@ import (
 	"kbharvest/internal/ned"
 	"kbharvest/internal/parse"
 	"kbharvest/internal/pipeline"
+	"kbharvest/internal/qcache"
 	"kbharvest/internal/rdf"
 	"kbharvest/internal/reason"
 	"kbharvest/internal/synth"
@@ -182,6 +183,49 @@ func BenchmarkStoreQueryJoin(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st.Query(q)
+	}
+}
+
+// BenchmarkQueryCacheWarm measures the steady-state read path: every
+// query is a cache hit validated by per-pattern generation loads.
+func BenchmarkQueryCacheWarm(b *testing.B) {
+	st := benchStore(100000)
+	q := []core.Pattern{
+		{S: core.PVar("x"), P: core.PIRI("kb:r2"), O: core.PVar("y")},
+		{S: core.PVar("y"), P: core.PIRI("kb:r3"), O: core.PVar("z")},
+	}
+	c := qcache.New(st, qcache.Options{})
+	ctx := context.Background()
+	if _, _, err := c.Query(ctx, q, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, cached, _ := c.Query(ctx, q, 0); !cached {
+			b.Fatal("warm benchmark missed the cache")
+		}
+	}
+}
+
+// BenchmarkQueryCacheInvalidated measures the worst case: every hit is
+// stale because a write bumped an overlapping generation, forcing a
+// re-evaluation plus re-fill each iteration.
+func BenchmarkQueryCacheInvalidated(b *testing.B) {
+	st := benchStore(100000)
+	q := []core.Pattern{
+		{S: core.PVar("x"), P: core.PIRI("kb:r2"), O: core.PVar("y")},
+		{S: core.PVar("y"), P: core.PIRI("kb:r3"), O: core.PVar("z")},
+	}
+	c := qcache.New(st, qcache.Options{})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Add(rdf.T(fmt.Sprintf("kb:churn%d", i), "kb:r2", "kb:churn"))
+		if _, cached, _ := c.Query(ctx, q, 0); cached {
+			b.Fatal("invalidation benchmark hit the cache")
+		}
 	}
 }
 

@@ -7,10 +7,12 @@
 //
 // Each argument is one "s p o" pattern; ?name marks variables, bare
 // tokens are IRIs, double-quoted strings are literals. Patterns are
-// joined on shared variables.
+// joined on shared variables. A query with no variables is an ASK:
+// kbquery prints "true" or "false".
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -42,7 +44,36 @@ func main() {
 	}
 	fmt.Printf("loaded %d facts\n", n)
 
-	bindings, err := st.QueryStrings(flag.Args())
+	var patterns []core.Pattern
+	hasVar := false
+	for _, line := range flag.Args() {
+		p, err := core.ParsePattern(line)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if p.S.Var != "" || p.P.Var != "" || p.O.Var != "" {
+			hasVar = true
+		}
+		patterns = append(patterns, p)
+	}
+	if !hasVar {
+		// All-constant conjunction: answer ASK-style.
+		holds := false
+		err := st.QueryFunc(context.Background(), patterns, 1, func(core.Binding) bool {
+			holds = true
+			return false
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(holds)
+		return
+	}
+	var bindings []core.Binding
+	err = st.QueryFunc(context.Background(), patterns, 0, func(b core.Binding) bool {
+		bindings = append(bindings, b)
+		return true
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,63 @@
+// Kbserve is the long-lived query serving surface of the knowledge base:
+// it loads a snapshot once and serves concurrent conjunctive queries over
+// HTTP through the sharded result cache (internal/qcache), with
+// per-request timeouts and an operational stats endpoint.
+//
+// Usage:
+//
+//	kbserve -kb kb.nt [-addr :8080] [-timeout 2s] [-cache-shards 16] [-cache-per-shard 256]
+//
+// Endpoints:
+//
+//	POST /query   {"patterns": ["?p kb:founded ?c", "?c kb:locatedIn ?city"], "limit": 100}
+//	              -> {"vars": [...], "rows": [{"var": "<term>"}, ...], "count": N,
+//	                  "cached": true|false, "took_us": T}
+//	              Patterns use the kbquery "s p o" syntax: ?name marks
+//	              variables, bare tokens and <...> are IRIs, double-quoted
+//	              strings are literals. An all-constant query returns
+//	              {"ask": true|false} instead of rows.
+//	GET  /statsz  cache hit rate, query latency histogram, store stats
+//	GET  /healthz liveness probe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"kbharvest/internal/core"
+	"kbharvest/internal/qcache"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kbserve: ")
+	kbPath := flag.String("kb", "", "KB snapshot path (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-request query timeout")
+	cacheShards := flag.Int("cache-shards", 16, "result cache shard count")
+	cachePerShard := flag.Int("cache-per-shard", 256, "cached queries per shard")
+	flag.Parse()
+	if *kbPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: kbserve -kb snapshot.nt [-addr :8080]")
+		os.Exit(2)
+	}
+	f, err := os.Open(*kbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := core.NewStore()
+	n, err := st.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %d facts from %s: %s", n, *kbPath, st)
+
+	srv := newServer(st, qcache.Options{Shards: *cacheShards, PerShard: *cachePerShard}, *timeout)
+	log.Printf("serving on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,233 @@
+package main
+
+// The HTTP serving layer: request parsing, cache-backed evaluation with
+// per-request deadlines, and the /statsz operational counters. The
+// handler is constructed by newServer so tests can drive it with
+// httptest without binding a socket.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"kbharvest/internal/core"
+	"kbharvest/internal/qcache"
+)
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	// Patterns are "s p o" lines in kbquery syntax.
+	Patterns []string `json:"patterns"`
+	// Limit caps the number of rows (0 = all).
+	Limit int `json:"limit"`
+}
+
+// queryResponse is the POST /query reply.
+type queryResponse struct {
+	Vars   []string            `json:"vars,omitempty"`
+	Rows   []map[string]string `json:"rows,omitempty"`
+	Count  int                 `json:"count"`
+	Ask    *bool               `json:"ask,omitempty"` // set for zero-variable queries
+	Cached bool                `json:"cached"`
+	TookUS int64               `json:"took_us"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// latencyHistogram counts query latencies in power-of-two microsecond
+// buckets; all counters are atomics so request handlers never serialize
+// on stats.
+type latencyHistogram struct {
+	buckets [32]atomic.Uint64 // bucket i: latency < 2^i µs
+	count   atomic.Uint64
+	sumUS   atomic.Uint64
+}
+
+func (h *latencyHistogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	b := 0
+	for us>>b > 0 && b < len(h.buckets)-1 {
+		b++
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(uint64(us))
+}
+
+// quantile returns an upper bound on the q-quantile latency in µs.
+func (h *latencyHistogram) quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return uint64(1) << i
+		}
+	}
+	return uint64(1) << (len(h.buckets) - 1)
+}
+
+type server struct {
+	st      *core.Store
+	cache   *qcache.Cache
+	timeout time.Duration
+	mux     *http.ServeMux
+	lat     latencyHistogram
+}
+
+func newServer(st *core.Store, opt qcache.Options, timeout time.Duration) *server {
+	s := &server{
+		st:      st,
+		cache:   qcache.New(st, opt),
+		timeout: timeout,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST a JSON body to /query"})
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Patterns) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"no patterns"})
+		return
+	}
+	patterns := make([]core.Pattern, 0, len(req.Patterns))
+	hasVar := false
+	for _, line := range req.Patterns {
+		p, err := core.ParsePattern(line)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			return
+		}
+		if p.S.Var != "" || p.P.Var != "" || p.O.Var != "" {
+			hasVar = true
+		}
+		patterns = append(patterns, p)
+	}
+
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	t0 := time.Now()
+	bindings, cached, err := s.cache.Query(ctx, patterns, req.Limit)
+	took := time.Since(t0)
+	s.lat.observe(took)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		} else if errors.Is(err, context.Canceled) {
+			status = 499 // client closed request
+		}
+		writeJSON(w, status, errorResponse{err.Error()})
+		return
+	}
+
+	resp := queryResponse{Count: len(bindings), Cached: cached, TookUS: took.Microseconds()}
+	if !hasVar {
+		// ASK-style: an all-constant conjunction either holds or not.
+		ask := len(bindings) > 0
+		resp.Ask = &ask
+		resp.Count = 0
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if len(bindings) > 0 {
+		var vars []core.Var
+		for v := range bindings[0] {
+			vars = append(vars, v)
+		}
+		sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+		resp.Vars = make([]string, len(vars))
+		for i, v := range vars {
+			resp.Vars[i] = string(v)
+		}
+		resp.Rows = make([]map[string]string, len(bindings))
+		for i, b := range bindings {
+			row := make(map[string]string, len(vars))
+			for _, v := range vars {
+				row[string(v)] = b[v].String()
+			}
+			resp.Rows[i] = row
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statszResponse is the GET /statsz reply.
+type statszResponse struct {
+	Cache   cacheStats   `json:"cache"`
+	Latency latencyStats `json:"latency"`
+	Store   core.Stats   `json:"store"`
+}
+
+type cacheStats struct {
+	qcache.Stats
+	HitRate float64 `json:"hit_rate"`
+}
+
+type latencyStats struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  uint64  `json:"p50_us"`
+	P90US  uint64  `json:"p90_us"`
+	P99US  uint64  `json:"p99_us"`
+}
+
+func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	lat := latencyStats{
+		Count: s.lat.count.Load(),
+		P50US: s.lat.quantile(0.50),
+		P90US: s.lat.quantile(0.90),
+		P99US: s.lat.quantile(0.99),
+	}
+	if lat.Count > 0 {
+		lat.MeanUS = float64(s.lat.sumUS.Load()) / float64(lat.Count)
+	}
+	writeJSON(w, http.StatusOK, statszResponse{
+		Cache:   cacheStats{Stats: cs, HitRate: cs.HitRate()},
+		Latency: lat,
+		Store:   s.st.Stats(),
+	})
+}

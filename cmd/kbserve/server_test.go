@@ -1,0 +1,223 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kbharvest/internal/core"
+	"kbharvest/internal/qcache"
+	"kbharvest/internal/rdf"
+)
+
+func testStore() *core.Store {
+	st := core.NewStore()
+	st.Add(rdf.T("kb:jobs", "kb:founded", "kb:apple"))
+	st.Add(rdf.T("kb:wozniak", "kb:founded", "kb:apple"))
+	st.Add(rdf.T("kb:gates", "kb:founded", "kb:microsoft"))
+	st.Add(rdf.T("kb:apple", "kb:locatedIn", "kb:cupertino"))
+	st.Add(rdf.T("kb:microsoft", "kb:locatedIn", "kb:redmond"))
+	return st
+}
+
+func postQuery(t *testing.T, srv http.Handler, body string) (*httptest.ResponseRecorder, queryResponse) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	var resp queryResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad response %q: %v", rec.Body.String(), err)
+		}
+	}
+	return rec, resp
+}
+
+func TestServerQueryJoin(t *testing.T) {
+	srv := newServer(testStore(), qcache.Options{}, time.Second)
+	rec, resp := postQuery(t, srv, `{"patterns": ["?p kb:founded ?c", "?c kb:locatedIn ?city"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Count != 3 || len(resp.Rows) != 3 {
+		t.Fatalf("count = %d rows = %d, want 3", resp.Count, len(resp.Rows))
+	}
+	if resp.Cached {
+		t.Error("first query reported cached")
+	}
+	if want := []string{"c", "city", "p"}; fmt.Sprint(resp.Vars) != fmt.Sprint(want) {
+		t.Errorf("vars = %v, want %v", resp.Vars, want)
+	}
+	// Repeat: served from cache.
+	rec, resp = postQuery(t, srv, `{"patterns": ["?p kb:founded ?c", "?c kb:locatedIn ?city"]}`)
+	if rec.Code != http.StatusOK || !resp.Cached {
+		t.Errorf("repeat query: status %d cached %v", rec.Code, resp.Cached)
+	}
+	if resp.Count != 3 {
+		t.Errorf("cached count = %d", resp.Count)
+	}
+}
+
+func TestServerQueryLimit(t *testing.T) {
+	srv := newServer(testStore(), qcache.Options{}, time.Second)
+	rec, resp := postQuery(t, srv, `{"patterns": ["?p kb:founded ?c"], "limit": 2}`)
+	if rec.Code != http.StatusOK || resp.Count != 2 {
+		t.Errorf("status %d count %d, want 2 rows", rec.Code, resp.Count)
+	}
+}
+
+func TestServerAskQuery(t *testing.T) {
+	srv := newServer(testStore(), qcache.Options{}, time.Second)
+	rec, resp := postQuery(t, srv, `{"patterns": ["kb:jobs kb:founded kb:apple"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Ask == nil || !*resp.Ask {
+		t.Errorf("ask = %v, want true", resp.Ask)
+	}
+	if len(resp.Rows) != 0 {
+		t.Errorf("ask query returned rows: %v", resp.Rows)
+	}
+	_, resp = postQuery(t, srv, `{"patterns": ["kb:jobs kb:founded kb:microsoft"]}`)
+	if resp.Ask == nil || *resp.Ask {
+		t.Errorf("ask = %v, want false", resp.Ask)
+	}
+}
+
+func TestServerBadRequests(t *testing.T) {
+	srv := newServer(testStore(), qcache.Options{}, time.Second)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"patterns": []}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+		{`{"patterns": ["only twoterms"]}`, http.StatusBadRequest},
+		{`{"patterns": ["?x kb:label \"unterminated"]}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec, _ := postQuery(t, srv, c.body)
+		if rec.Code != c.want {
+			t.Errorf("body %q: status %d, want %d (%s)", c.body, rec.Code, c.want, rec.Body.String())
+		}
+	}
+	// GET /query is not allowed.
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/query", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query status = %d", rec.Code)
+	}
+}
+
+func TestServerTimeout(t *testing.T) {
+	// A deadline in the past forces the evaluation's first context check
+	// to fail, exercising the 504 path.
+	srv := newServer(testStore(), qcache.Options{}, time.Nanosecond)
+	rec, _ := postQuery(t, srv, `{"patterns": ["?p kb:founded ?c"]}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Errorf("status = %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestServerStatsz(t *testing.T) {
+	srv := newServer(testStore(), qcache.Options{}, time.Second)
+	postQuery(t, srv, `{"patterns": ["?p kb:founded ?c"]}`)
+	postQuery(t, srv, `{"patterns": ["?p kb:founded ?c"]}`)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statsz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("statsz status %d", rec.Code)
+	}
+	var stats statszResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("statsz body %q: %v", rec.Body.String(), err)
+	}
+	if stats.Cache.Hits != 1 || stats.Cache.Misses != 1 {
+		t.Errorf("cache stats = %+v", stats.Cache)
+	}
+	if stats.Cache.HitRate != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", stats.Cache.HitRate)
+	}
+	if stats.Latency.Count != 2 || stats.Latency.P99US == 0 {
+		t.Errorf("latency stats = %+v", stats.Latency)
+	}
+	if stats.Store.Facts != 5 {
+		t.Errorf("store facts = %d, want 5", stats.Store.Facts)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	srv := newServer(testStore(), qcache.Options{}, time.Second)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz status %d", rec.Code)
+	}
+}
+
+// Concurrent requests against a store that keeps mutating: handlers and
+// the cache must be race-clean, and every answer must be a possible state
+// (3 stable join rows plus at most one transient chain).
+func TestServerConcurrentQueriesWithWriter(t *testing.T) {
+	st := testStore()
+	srv := newServer(st, qcache.Options{Shards: 4}, time.Second)
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			co := fmt.Sprintf("kb:startup%d", i%5)
+			st.Add(rdf.T("kb:founder", "kb:founded", co))
+			st.Add(rdf.T(co, "kb:locatedIn", "kb:garage"))
+			st.Remove(rdf.T("kb:founder", "kb:founded", co))
+			st.Remove(rdf.T(co, "kb:locatedIn", "kb:garage"))
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 150; r++ {
+				req := httptest.NewRequest(http.MethodPost, "/query",
+					strings.NewReader(`{"patterns": ["?p kb:founded ?c", "?c kb:locatedIn ?city"]}`))
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("status %d: %s", rec.Code, rec.Body.String())
+					return
+				}
+				var resp queryResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					errs <- err
+					return
+				}
+				if resp.Count < 3 || resp.Count > 4 {
+					errs <- fmt.Errorf("impossible row count %d", resp.Count)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	writerWG.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}

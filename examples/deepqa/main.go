@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -120,14 +121,20 @@ func answer(result *kbharvest.BuildResult, q string) []string {
 			return nil
 		}
 		entity := cands[0].Entity
+		// Stream bindings instead of materializing the full result set;
+		// a QA surface only ever renders a handful of answers.
 		var out []string
 		seen := map[string]bool{}
-		for _, b := range result.KB.Query(tmpl.build(entity)) {
+		err := result.KB.QueryFunc(context.Background(), tmpl.build(entity), 0, func(b core.Binding) bool {
 			a := tmpl.render(b)
 			if !seen[a] {
 				seen[a] = true
 				out = append(out, a)
 			}
+			return len(out) < 10
+		})
+		if err != nil {
+			log.Fatal(err)
 		}
 		return out
 	}

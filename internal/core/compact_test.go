@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"kbharvest/internal/rdf"
+)
+
+// postingLen inspects the spo posting for (s, p) — test-only visibility
+// into the index layer.
+func (st *Store) postingLen(s, p string) int {
+	sid, ok1 := st.dict.lookup(rdf.NewIRI(s))
+	pid, ok2 := st.dict.lookup(rdf.NewIRI(p))
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return st.spo.pairCount(sid, pid)
+}
+
+// Churn (remove + re-add) must not grow postings without bound: once a
+// match resolves a majority-dead posting, the dead IDs are compacted away.
+func TestPostingCompactionAfterChurn(t *testing.T) {
+	st := NewStore()
+	pat := rdf.Triple{S: rdf.NewIRI("kb:s"), P: rdf.NewIRI("kb:p")}
+	for i := 0; i < 64; i++ {
+		st.Add(rdf.T("kb:s", "kb:p", fmt.Sprintf("kb:o%d", i)))
+	}
+	for i := 0; i < 48; i++ {
+		if !st.Remove(rdf.T("kb:s", "kb:p", fmt.Sprintf("kb:o%d", i))) {
+			t.Fatalf("remove %d failed", i)
+		}
+	}
+	if got := st.postingLen("kb:s", "kb:p"); got != 64 {
+		t.Fatalf("pre-compaction posting length = %d, want 64 (tombstones pruned lazily)", got)
+	}
+	if got := len(st.Match(pat)); got != 16 {
+		t.Fatalf("live matches = %d, want 16", got)
+	}
+	// The >50%-dead match above must have compacted the posting in place.
+	if got := st.postingLen("kb:s", "kb:p"); got != 16 {
+		t.Errorf("post-compaction posting length = %d, want 16", got)
+	}
+	// Query results are unchanged after compaction.
+	if got := len(st.Match(pat)); got != 16 {
+		t.Errorf("matches after compaction = %d, want 16", got)
+	}
+}
+
+// Repeated remove + re-add cycles keep the posting bounded near the live
+// set instead of growing by one dead ID per cycle.
+func TestPostingBoundedUnderChurn(t *testing.T) {
+	st := NewStore()
+	for i := 0; i < 32; i++ {
+		st.Add(rdf.T("kb:hub", "kb:p", fmt.Sprintf("kb:o%d", i)))
+	}
+	pat := rdf.Triple{S: rdf.NewIRI("kb:hub"), P: rdf.NewIRI("kb:p")}
+	for cycle := 0; cycle < 50; cycle++ {
+		for i := 0; i < 32; i++ {
+			st.Remove(rdf.T("kb:hub", "kb:p", fmt.Sprintf("kb:o%d", i)))
+			st.Add(rdf.T("kb:hub", "kb:p", fmt.Sprintf("kb:o%d", i)))
+		}
+		if got := len(st.Match(pat)); got != 32 {
+			t.Fatalf("cycle %d: live matches = %d, want 32", cycle, got)
+		}
+	}
+	// 50 cycles × 32 removals = 1600 tombstones flowed through; without
+	// compaction the posting would hold them all.
+	if got := st.postingLen("kb:hub", "kb:p"); got > 96 {
+		t.Errorf("posting grew to %d IDs under churn, want <= 96", got)
+	}
+}
+
+// Compaction of a lead (s ? ?) posting group.
+func TestLeadPostingCompaction(t *testing.T) {
+	st := NewStore()
+	for i := 0; i < 40; i++ {
+		st.Add(rdf.T("kb:x", fmt.Sprintf("kb:p%d", i%4), fmt.Sprintf("kb:o%d", i)))
+	}
+	for i := 0; i < 32; i++ {
+		st.Remove(rdf.T("kb:x", fmt.Sprintf("kb:p%d", i%4), fmt.Sprintf("kb:o%d", i)))
+	}
+	pat := rdf.Triple{S: rdf.NewIRI("kb:x")}
+	if got := len(st.Match(pat)); got != 8 {
+		t.Fatalf("live lead matches = %d, want 8", got)
+	}
+	sid, _ := st.dict.lookup(rdf.NewIRI("kb:x"))
+	if got := st.spo.leadCount(sid); got != 8 {
+		t.Errorf("lead posting total = %d after compaction, want 8", got)
+	}
+}
+
+// Generation counters: every insert and tombstone advances the pattern
+// generation an affected pattern reads, and unrelated writes can advance
+// it spuriously but never leave it stale.
+func TestPatternGenAdvancesOnWrites(t *testing.T) {
+	st := NewStore()
+	st.Add(rdf.T("kb:a", "kb:p", "kb:b"))
+	pat := rdf.Triple{P: rdf.NewIRI("kb:p")}
+	g0 := st.PatternGen(pat)
+	st.Add(rdf.T("kb:c", "kb:p", "kb:d"))
+	g1 := st.PatternGen(pat)
+	if g1 == g0 {
+		t.Error("insert matching (? p ?) did not advance its pattern generation")
+	}
+	st.Remove(rdf.T("kb:a", "kb:p", "kb:b"))
+	if g2 := st.PatternGen(pat); g2 == g1 {
+		t.Error("tombstone matching (? p ?) did not advance its pattern generation")
+	}
+	// Unknown-term patterns fall back to the store-wide generation.
+	unk := rdf.Triple{P: rdf.NewIRI("kb:neverSeen")}
+	gu := st.PatternGen(unk)
+	if gu != st.WriteGen() {
+		t.Errorf("unknown-term pattern gen = %d, want WriteGen %d", gu, st.WriteGen())
+	}
+	st.Add(rdf.T("kb:e", "kb:q", "kb:f"))
+	if st.PatternGen(unk) == gu {
+		t.Error("unknown-term pattern generation must advance on any write")
+	}
+}
+
+func TestEstimateMatches(t *testing.T) {
+	st := NewStore()
+	for i := 0; i < 10; i++ {
+		st.Add(rdf.T("kb:s", "kb:p", fmt.Sprintf("kb:o%d", i)))
+	}
+	st.Add(rdf.T("kb:s", "kb:q", "kb:o0"))
+	if got := st.EstimateMatches(rdf.Triple{S: rdf.NewIRI("kb:s"), P: rdf.NewIRI("kb:p")}); got != 10 {
+		t.Errorf("estimate (s p ?) = %d, want 10", got)
+	}
+	if got := st.EstimateMatches(rdf.Triple{S: rdf.NewIRI("kb:s")}); got != 11 {
+		t.Errorf("estimate (s ? ?) = %d, want 11", got)
+	}
+	if got := st.EstimateMatches(rdf.Triple{}); got != 11 {
+		t.Errorf("estimate (? ? ?) = %d, want 11", got)
+	}
+	if got := st.EstimateMatches(rdf.Triple{S: rdf.NewIRI("kb:unknown")}); got != 0 {
+		t.Errorf("estimate of unknown subject = %d, want 0", got)
+	}
+}

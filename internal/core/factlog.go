@@ -80,15 +80,16 @@ func (l *factLog) remove(et encTriple) bool {
 	return true
 }
 
-// removeFact tombstones a fact by ID.
-func (l *factLog) removeFact(id FactID) bool {
+// removeFact tombstones a fact by ID, returning its triple so the caller
+// can bump the index generations that covered it.
+func (l *factLog) removeFact(id FactID) (encTriple, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if int(id) >= len(l.triples) || l.dead[id] {
-		return false
+		return encTriple{}, false
 	}
 	l.killLocked(id)
-	return true
+	return l.triples[id], true
 }
 
 func (l *factLog) killLocked(id FactID) {
@@ -119,20 +120,25 @@ func (l *factLog) get(id FactID) (encTriple, bool) {
 }
 
 // resolve filters candidate IDs down to live facts and fetches their
-// triples under one read lock. ids must be sorted if callers rely on
-// deterministic output order.
-func (l *factLog) resolve(ids []FactID) ([]FactID, []encTriple) {
+// triples under one read lock, also returning the tombstoned IDs it
+// skipped (nil when none) so callers can compact the posting they came
+// from. ids must be sorted if callers rely on deterministic output order;
+// the live result aliases ids' backing array.
+func (l *factLog) resolve(ids []FactID) ([]FactID, []encTriple, []FactID) {
 	live := ids[:0]
 	ets := make([]encTriple, 0, len(ids))
+	var dead []FactID
 	l.mu.RLock()
 	for _, id := range ids {
 		if int(id) < len(l.triples) && !l.dead[id] {
 			live = append(live, id)
 			ets = append(ets, l.triples[id])
+		} else {
+			dead = append(dead, id)
 		}
 	}
 	l.mu.RUnlock()
-	return live, ets
+	return live, ets, dead
 }
 
 // scan returns every live fact ID and triple in insertion order.

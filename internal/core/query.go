@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -52,8 +53,14 @@ func ParsePatternTerm(s string) (PatternTerm, error) {
 		return PVar(s[1:]), nil
 	case strings.HasPrefix(s, "<") && strings.HasSuffix(s, ">"):
 		return PIRI(s[1 : len(s)-1]), nil
-	case strings.HasPrefix(s, `"`) && strings.HasSuffix(s, `"`) && len(s) >= 2:
-		return PTerm(rdf.NewLiteral(s[1 : len(s)-1])), nil
+	case strings.HasPrefix(s, `"`) || strings.HasSuffix(s, `"`):
+		// A term touching a double quote must be a complete literal;
+		// a lone '"' or an unterminated `"abc` is a parse error, not an
+		// IRI whose name happens to contain a quote.
+		if len(s) >= 2 && strings.HasPrefix(s, `"`) && strings.HasSuffix(s, `"`) {
+			return PTerm(rdf.NewLiteral(s[1 : len(s)-1])), nil
+		}
+		return PatternTerm{}, fmt.Errorf("core: unterminated or bare quote in literal %q", s)
 	default:
 		return PIRI(s), nil
 	}
@@ -113,56 +120,106 @@ func (b Binding) clone() Binding {
 }
 
 // Query evaluates a conjunction of patterns and returns all bindings.
-// Patterns are greedily reordered so that the most selective (fewest
-// unbound variables given current bindings) executes first.
+// It is QueryFunc without streaming: no cancellation, no limit.
 func (st *Store) Query(patterns []Pattern) []Binding {
-	results := []Binding{make(Binding)}
+	var out []Binding
+	st.QueryFunc(context.Background(), patterns, 0, func(b Binding) bool {
+		out = append(out, b)
+		return true
+	})
+	return out
+}
+
+// QueryFunc streams the bindings of a conjunctive query to fn. It stops
+// early when fn returns false, when limit bindings have been emitted
+// (limit <= 0 means unlimited), or when ctx is cancelled — in which case
+// the context's error is returned.
+//
+// Join order is cardinality-driven and chosen per branch: before each
+// step the engine probes the index posting sizes every remaining pattern
+// would read under the current binding (PatternEstimate) and executes the
+// cheapest pattern next. A pattern that estimates to zero matches prunes
+// its branch immediately — estimates are upper bounds — so constants the
+// dictionary has never seen short-circuit the whole conjunction.
+func (st *Store) QueryFunc(ctx context.Context, patterns []Pattern, limit int, fn func(Binding) bool) error {
 	remaining := append([]Pattern(nil), patterns...)
-	for len(remaining) > 0 {
-		// Pick the pattern with the fewest unbound variables under any
-		// current binding (they all share the same bound-variable set
-		// domain, so inspect the first).
-		bestIdx, bestUnbound := 0, 4
-		var probe Binding
-		if len(results) > 0 {
-			probe = results[0]
+	emitted := 0
+	stopped := false
+	var step func(b Binding, rest []Pattern) bool // false halts the traversal
+	step = func(b Binding, rest []Pattern) bool {
+		if ctx.Err() != nil {
+			return false
 		}
-		for i, p := range remaining {
-			u := unboundCount(p, probe)
-			if u < bestUnbound {
-				bestUnbound, bestIdx = u, i
+		if len(rest) == 0 {
+			emitted++
+			if !fn(b) {
+				stopped = true
+				return false
+			}
+			if limit > 0 && emitted >= limit {
+				stopped = true
+				return false
+			}
+			return true
+		}
+		best, bestCost := 0, int(^uint(0)>>1)
+		for i, p := range rest {
+			if c := st.PatternEstimate(p, b); c < bestCost {
+				best, bestCost = i, c
 			}
 		}
-		p := remaining[bestIdx]
-		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
-
-		var next []Binding
-		for _, b := range results {
-			st.matchPattern(p, b, func(nb Binding) {
-				next = append(next, nb)
-			})
+		if bestCost == 0 {
+			return true // some pattern cannot match under b: prune branch
 		}
-		results = next
-		if len(results) == 0 {
-			return nil
-		}
+		// Swap the chosen pattern to the front and recurse on rest[1:];
+		// restore afterwards so sibling branches see the original order.
+		rest[0], rest[best] = rest[best], rest[0]
+		ok := true
+		st.matchPattern(rest[0], b, func(nb Binding) bool {
+			ok = step(nb, rest[1:])
+			return ok
+		})
+		rest[0], rest[best] = rest[best], rest[0]
+		return ok
 	}
-	return results
+	step(make(Binding), remaining)
+	if err := ctx.Err(); err != nil && !stopped {
+		return err
+	}
+	return nil
 }
 
-func unboundCount(p Pattern, b Binding) int {
-	n := 0
-	for _, pt := range []PatternTerm{p.S, p.P, p.O} {
+// PatternEstimate returns the planner's cost probe for one pattern: the
+// index-cardinality upper bound on its matches under binding b. Variables
+// bound in b count as constants, genuinely unbound variables as
+// wildcards; tombstoned facts still sitting in postings are counted until
+// compaction prunes them. A zero estimate is exact — the pattern cannot
+// match.
+func (st *Store) PatternEstimate(p Pattern, b Binding) int {
+	var ids [3]ID
+	for i, pt := range [3]PatternTerm{p.S, p.P, p.O} {
+		t := pt.Const
 		if pt.Var != "" {
-			if _, ok := b[pt.Var]; !ok {
-				n++
+			bt, ok := b[pt.Var]
+			if !ok {
+				continue // unbound variable: wildcard
 			}
+			t = bt
+		} else if t.IsZero() {
+			continue // explicit wildcard position
 		}
+		id, ok := st.dict.lookup(t)
+		if !ok {
+			return 0
+		}
+		ids[i] = id
 	}
-	return n
+	return st.estimateEnc(ids[0], ids[1], ids[2])
 }
 
-func (st *Store) matchPattern(p Pattern, b Binding, emit func(Binding)) {
+// matchPattern streams the bindings extending b that satisfy p, stopping
+// early when emit returns false.
+func (st *Store) matchPattern(p Pattern, b Binding, emit func(Binding) bool) {
 	resolve := func(pt PatternTerm) (rdf.Term, Var) {
 		if pt.Var == "" {
 			return pt.Const, ""
@@ -192,8 +249,7 @@ func (st *Store) matchPattern(p Pattern, b Binding, emit func(Binding)) {
 			}
 			nb[ov] = t.O
 		}
-		emit(nb)
-		return true
+		return emit(nb)
 	})
 }
 

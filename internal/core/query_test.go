@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"kbharvest/internal/rdf"
@@ -227,5 +228,172 @@ func TestQueryStringsWithLiteralSpaces(t *testing.T) {
 	}
 	if len(got) != 1 || got[0]["x"].Value != "jobs" {
 		t.Errorf("literal-with-space query = %v", got)
+	}
+}
+
+func TestParsePatternTermQuoteErrors(t *testing.T) {
+	for _, in := range []string{`"`, `"abc`, `abc"`, `"unterminated literal`} {
+		if _, err := ParsePatternTerm(in); err == nil {
+			t.Errorf("ParsePatternTerm(%q) should fail, parsed as non-error", in)
+		}
+	}
+	// A well-formed literal still parses.
+	got, err := ParsePatternTerm(`"ok"`)
+	if err != nil || !got.Const.IsLiteral() || got.Const.Value != "ok" {
+		t.Errorf(`ParsePatternTerm("ok") = %v, %v`, got, err)
+	}
+}
+
+func TestParsePatternUnclosedQuoteToEOL(t *testing.T) {
+	// rejoinQuoted swallows to end of line; the unterminated literal must
+	// surface as a parse error, not silently become an IRI.
+	if _, err := ParsePattern(`?x label "steve jobs`); err == nil {
+		t.Error("unclosed quote running to end of line should be a parse error")
+	}
+	if _, err := ParsePattern(`?x " ?y`); err == nil {
+		t.Error("bare quote term should be a parse error")
+	}
+}
+
+func TestQueryRepeatedVariableAcrossPatterns(t *testing.T) {
+	st := NewStore()
+	st.Add(rdf.T("a", "p", "b"))
+	st.Add(rdf.T("b", "q", "a")) // cycle a -p-> b -q-> a
+	st.Add(rdf.T("b", "q", "c"))
+	st.Add(rdf.T("c", "p", "d"))
+	got := st.Query([]Pattern{
+		{S: PVar("x"), P: PIRI("p"), O: PVar("y")},
+		{S: PVar("y"), P: PIRI("q"), O: PVar("x")}, // both vars repeat
+	})
+	if len(got) != 1 || got[0]["x"].Value != "a" || got[0]["y"].Value != "b" {
+		t.Errorf("cyclic join = %v", got)
+	}
+}
+
+func TestQueryFuncLimit(t *testing.T) {
+	st := buildQueryFixture()
+	var rows []Binding
+	err := st.QueryFunc(context.Background(), []Pattern{
+		{S: PVar("x"), P: PIRI("founded"), O: PVar("c")},
+	}, 2, func(b Binding) bool {
+		rows = append(rows, b)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("limit 2 emitted %d rows", len(rows))
+	}
+	// fn returning false stops the stream before the limit.
+	n := 0
+	if err := st.QueryFunc(context.Background(), []Pattern{
+		{S: PVar("x"), P: PIRI("founded"), O: PVar("c")},
+	}, 0, func(Binding) bool {
+		n++
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("fn-stop emitted %d rows, want 1", n)
+	}
+}
+
+func TestQueryFuncCancellation(t *testing.T) {
+	st := buildQueryFixture()
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	err := st.QueryFunc(ctx, []Pattern{
+		{S: PVar("x"), P: PVar("r"), O: PVar("y")},
+	}, 0, func(Binding) bool {
+		n++
+		cancel() // cancel mid-stream after the first row
+		return true
+	})
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if n == 0 || n == st.Len() {
+		t.Errorf("cancellation emitted %d of %d rows, want a strict prefix", n, st.Len())
+	}
+	// An already-cancelled context emits nothing.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	n = 0
+	if err := st.QueryFunc(ctx2, []Pattern{
+		{S: PVar("x"), P: PVar("r"), O: PVar("y")},
+	}, 0, func(Binding) bool { n++; return true }); err != context.Canceled {
+		t.Errorf("pre-cancelled err = %v", err)
+	}
+	if n != 0 {
+		t.Errorf("pre-cancelled context emitted %d rows", n)
+	}
+}
+
+func TestQueryFactRemovedBetweenJoinPatterns(t *testing.T) {
+	// A fact removed after the first pattern matched it must not survive
+	// into rows produced by later patterns of the same join.
+	st := NewStore()
+	st.Add(rdf.T("jobs", "founded", "apple"))
+	st.Add(rdf.T("gates", "founded", "microsoft"))
+	st.Add(rdf.T("apple", "locatedIn", "cupertino"))
+	st.Add(rdf.T("microsoft", "locatedIn", "redmond"))
+	var rows []Binding
+	err := st.QueryFunc(context.Background(), []Pattern{
+		{S: PVar("p"), P: PIRI("founded"), O: PVar("c")},
+		{S: PVar("c"), P: PIRI("locatedIn"), O: PVar("city")},
+	}, 0, func(b Binding) bool {
+		rows = append(rows, b)
+		// After the first emitted row, retract the other branch's
+		// location fact so its join partner disappears mid-query.
+		st.Remove(rdf.T("apple", "locatedIn", "cupertino"))
+		st.Remove(rdf.T("microsoft", "locatedIn", "redmond"))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Errorf("got %d rows, want 1 (second branch's fact was removed mid-join): %v", len(rows), rows)
+	}
+}
+
+func TestQueryLiteralWithQuotesAndSpaces(t *testing.T) {
+	st := NewStore()
+	st.Add(rdf.TL("jobs", "label", "Steve Jobs"))
+	st.Add(rdf.TL("widget", "label", `the "best" widget`))
+	got := st.Query([]Pattern{{S: PVar("x"), P: PIRI("label"), O: PTerm(rdf.NewLiteral(`the "best" widget`))}})
+	if len(got) != 1 || got[0]["x"].Value != "widget" {
+		t.Errorf("literal-with-quotes query = %v", got)
+	}
+}
+
+func TestPatternEstimate(t *testing.T) {
+	st := buildQueryFixture()
+	founded := Pattern{S: PVar("x"), P: PIRI("founded"), O: PVar("c")}
+	if got := st.PatternEstimate(founded, nil); got != 4 {
+		t.Errorf("estimate(?x founded ?c) = %d, want 4", got)
+	}
+	bound := Binding{"c": rdf.NewIRI("apple")}
+	if got := st.PatternEstimate(founded, bound); got != 2 {
+		t.Errorf("estimate(?x founded apple) = %d, want 2", got)
+	}
+	unknown := Pattern{S: PVar("x"), P: PIRI("neverSeen"), O: PVar("c")}
+	if got := st.PatternEstimate(unknown, nil); got != 0 {
+		t.Errorf("estimate of unknown predicate = %d, want 0", got)
+	}
+}
+
+// The planner must place a zero-cardinality pattern first so impossible
+// conjunctions short-circuit without enumerating the other patterns.
+func TestQueryImpossiblePatternShortCircuits(t *testing.T) {
+	st := buildQueryFixture()
+	got := st.Query([]Pattern{
+		{S: PVar("x"), P: PVar("r"), O: PVar("y")}, // would enumerate everything
+		{S: PVar("x"), P: PIRI("neverSeen"), O: PVar("z")},
+	})
+	if got != nil {
+		t.Errorf("impossible conjunction returned %v", got)
 	}
 }

@@ -36,7 +36,7 @@ func (st *Store) Save(w io.Writer) error {
 			return fmt.Errorf("core: save: %w", err)
 		}
 		if m := infos[i]; m != nil {
-			line := fmt.Sprintf("#!meta %g %d %d %s\n", m.Confidence, m.Time.Begin, m.Time.End, m.Source)
+			line := fmt.Sprintf("#!meta %g %d %d %s\n", m.Confidence, m.Time.Begin, m.Time.End, escapeMetaSource(m.Source))
 			if _, err := bw.WriteString(line); err != nil {
 				return fmt.Errorf("core: save: %w", err)
 			}
@@ -134,7 +134,64 @@ func parseMetaLine(line string) (FactInfo, error) {
 	}
 	src := ""
 	if len(fields) == 4 {
-		src = fields[3]
+		src = unescapeMetaSource(fields[3])
 	}
 	return FactInfo{Confidence: conf, Source: src, Time: Interval{begin, end}}, nil
+}
+
+// escapeMetaSource makes a FactInfo.Source safe to embed in a single
+// "#!meta" line: backslashes and line breaks — which would otherwise split
+// the meta line and corrupt the snapshot for Load — are escaped so the
+// line-oriented format round-trips any source string.
+func escapeMetaSource(s string) string {
+	if !strings.ContainsAny(s, "\\\n\r") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// unescapeMetaSource inverts escapeMetaSource. Unknown escape sequences
+// (from snapshots written before escaping existed) pass through verbatim,
+// so legacy sources containing backslashes still load unchanged.
+func unescapeMetaSource(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			case 'r':
+				b.WriteByte('\r')
+				i++
+				continue
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -130,5 +131,72 @@ func TestSnapshotRoundTripQuick(t *testing.T) {
 				t.Fatalf("trial %d: meta mismatch %+v != %+v", trial, ia, ib)
 			}
 		}
+	}
+}
+
+// Property: snapshots round-trip FactInfo.Source strings that attack the
+// line-oriented meta format — newlines, carriage returns, backslashes,
+// "#!meta" prefixes, unicode — without corrupting the following lines.
+func TestSnapshotRoundTripHostileSources(t *testing.T) {
+	sources := []string{
+		"plain-article-42",
+		"line1\nline2",
+		"\n",
+		"\r\n",
+		"trailing-newline\n",
+		"#!meta 0.5 0 0 fake",
+		"back\\slash and C:\\path\\file",
+		"tab\tand spaces  kept",
+		"unicode: préfix ∞ 知識",
+		"\\n literal backslash-n",
+		"",
+	}
+	st := NewStore()
+	var ids []FactID
+	for i, src := range sources {
+		id := st.Add(rdf.T(fmt.Sprintf("kb:s%d", i), "kb:rel", fmt.Sprintf("kb:o%d", i)))
+		st.SetInfo(id, FactInfo{Confidence: 0.25 + float64(i)/100, Source: src, Time: Interval{10, 20}})
+		ids = append(ids, id)
+	}
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewStore()
+	n, err := loaded.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("load after hostile sources: %v\nsnapshot:\n%s", err, buf.String())
+	}
+	if n != len(sources) {
+		t.Fatalf("loaded %d facts, want %d", n, len(sources))
+	}
+	for i, src := range sources {
+		id, ok := loaded.FactOf(rdf.T(fmt.Sprintf("kb:s%d", i), "kb:rel", fmt.Sprintf("kb:o%d", i)))
+		if !ok {
+			t.Fatalf("fact %d missing after round trip", i)
+		}
+		info, _ := loaded.Info(id)
+		if info.Source != src {
+			t.Errorf("source %d round-tripped to %q, want %q", i, info.Source, src)
+		}
+		want, _ := st.Info(ids[i])
+		if info.Confidence != want.Confidence || info.Time != want.Time {
+			t.Errorf("meta %d = %+v, want %+v", i, info, want)
+		}
+	}
+}
+
+// Legacy snapshots written before source escaping existed must still load
+// their backslashes verbatim.
+func TestSnapshotLegacyBackslashSource(t *testing.T) {
+	snapshot := "<kb:s> <kb:p> <kb:o> .\n#!meta 0.5 1 2 C:\\data\\articles\n"
+	st := NewStore()
+	if _, err := st.Load(strings.NewReader(snapshot)); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := st.FactOf(rdf.T("kb:s", "kb:p", "kb:o"))
+	info, _ := st.Info(id)
+	if info.Source != `C:\data\articles` {
+		t.Errorf("legacy source = %q", info.Source)
 	}
 }

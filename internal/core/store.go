@@ -32,6 +32,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"kbharvest/internal/rdf"
 )
@@ -68,6 +69,11 @@ type Store struct {
 	spo permIndex
 	pos permIndex
 	osp permIndex
+
+	// writeGen counts every mutation (insert or tombstone). It backs
+	// PatternGen for patterns no index stripe can vouch for (full scans,
+	// patterns naming terms the dictionary has never seen).
+	writeGen atomic.Uint64
 }
 
 // NewStore returns an empty knowledge base.
@@ -112,6 +118,7 @@ func (st *Store) Add(t rdf.Triple) FactID {
 		st.spo.insert(et.s, et.p, id)
 		st.pos.insert(et.p, et.o, id)
 		st.osp.insert(et.o, et.s, id)
+		st.writeGen.Add(1)
 	}
 	return id
 }
@@ -189,11 +196,15 @@ func (st *Store) addBatch(ts []rdf.Triple, infos []*FactInfo) []FactID {
 		}
 	}
 	st.osp.insertBatch(entries)
+	if len(entries) > 0 {
+		st.writeGen.Add(1)
+	}
 	return ids
 }
 
 // Remove retracts a triple. It reports whether the triple was present.
-// The fact's ID is tombstoned; indexes drop it lazily during queries.
+// The fact's ID is tombstoned; indexes drop it lazily during queries,
+// compacting a posting list once most of it resolves dead.
 func (st *Store) Remove(t rdf.Triple) bool {
 	s, ok1 := st.dict.lookup(t.S)
 	p, ok2 := st.dict.lookup(t.P)
@@ -201,13 +212,120 @@ func (st *Store) Remove(t rdf.Triple) bool {
 	if !ok1 || !ok2 || !ok3 {
 		return false
 	}
-	return st.log.remove(encTriple{s, p, o})
+	et := encTriple{s, p, o}
+	if !st.log.remove(et) {
+		return false
+	}
+	st.bumpTombstoneGens(et)
+	return true
 }
 
 // RemoveFact retracts the fact with the given ID, reporting whether it was
 // live.
 func (st *Store) RemoveFact(id FactID) bool {
-	return st.log.removeFact(id)
+	et, ok := st.log.removeFact(id)
+	if !ok {
+		return false
+	}
+	st.bumpTombstoneGens(et)
+	return true
+}
+
+// bumpTombstoneGens records that a tombstone changed the matches of every
+// pattern any of the three permutations could answer for this triple.
+func (st *Store) bumpTombstoneGens(et encTriple) {
+	st.spo.bumpGen(et.s)
+	st.pos.bumpGen(et.p)
+	st.osp.bumpGen(et.o)
+	st.writeGen.Add(1)
+}
+
+// WriteGen returns the store-wide write generation: a counter that
+// advances on every insert and every tombstone. A pattern result computed
+// at generation g is still valid iff the generations guarding the pattern
+// (PatternGen) are unchanged.
+func (st *Store) WriteGen() uint64 {
+	return st.writeGen.Load()
+}
+
+// PatternGen returns the write generation guarding a match pattern
+// (zero-valued terms are wildcards): the generation of the index stripe
+// MatchFunc would read the pattern from. Every write that can change the
+// pattern's matches bumps this generation — an insert bumps the stripes of
+// all three of its leading terms, and so does a tombstone — so a cached
+// result for the pattern is valid as long as one atomic load returns the
+// generation observed before it was computed. Patterns that resolve to no
+// single stripe (full scans, patterns naming unknown terms) fall back to
+// the store-wide WriteGen and thus invalidate on any write.
+func (st *Store) PatternGen(pattern rdf.Triple) uint64 {
+	s, ok := st.lookup(pattern.S)
+	if !ok {
+		return st.writeGen.Load()
+	}
+	p, ok := st.lookup(pattern.P)
+	if !ok {
+		return st.writeGen.Load()
+	}
+	o, ok := st.lookup(pattern.O)
+	if !ok {
+		return st.writeGen.Load()
+	}
+	switch {
+	case s != 0:
+		return st.spo.genOf(s)
+	case p != 0:
+		return st.pos.genOf(p)
+	case o != 0:
+		return st.osp.genOf(o)
+	default:
+		return st.writeGen.Load()
+	}
+}
+
+// EstimateMatches returns a cheap upper bound on the number of live facts
+// matching the pattern, read from posting-list sizes without touching the
+// fact log (tombstones not yet compacted away are counted). The query
+// planner orders joins by these estimates; they are also useful for
+// admission decisions in serving layers.
+func (st *Store) EstimateMatches(pattern rdf.Triple) int {
+	s, ok := st.lookup(pattern.S)
+	if !ok {
+		return 0
+	}
+	p, ok := st.lookup(pattern.P)
+	if !ok {
+		return 0
+	}
+	o, ok := st.lookup(pattern.O)
+	if !ok {
+		return 0
+	}
+	return st.estimateEnc(s, p, o)
+}
+
+// estimateEnc is EstimateMatches over encoded IDs (0 = wildcard).
+func (st *Store) estimateEnc(s, p, o ID) int {
+	switch {
+	case s != 0 && p != 0 && o != 0:
+		if _, ok := st.log.factOf(encTriple{s, p, o}); ok {
+			return 1
+		}
+		return 0
+	case s != 0 && p != 0:
+		return st.spo.pairCount(s, p)
+	case s != 0 && o != 0:
+		return st.osp.pairCount(o, s)
+	case s != 0:
+		return st.spo.leadCount(s)
+	case p != 0 && o != 0:
+		return st.pos.pairCount(p, o)
+	case p != 0:
+		return st.pos.leadCount(p)
+	case o != 0:
+		return st.osp.leadCount(o)
+	default:
+		return st.log.len()
+	}
 }
 
 // Has reports whether the triple is asserted.
@@ -299,8 +417,12 @@ func (st *Store) MatchFunc(pattern rdf.Triple, fn func(FactID, rdf.Triple) bool)
 // matchEnc gathers the live facts matching the encoded pattern (0 =
 // wildcard), sorted by FactID. Candidate IDs are collected from the
 // narrowest index, then filtered against tombstones in one fact-log pass.
+// When more than half of a large copied-out posting resolves dead, the
+// posting is compacted in place so churned stripes do not grow — and slow
+// down — without bound.
 func (st *Store) matchEnc(s, p, o ID) ([]FactID, []encTriple) {
 	var cand []FactID
+	var compact func(dead map[FactID]bool)
 	switch {
 	case s != 0 && p != 0 && o != 0:
 		id, ok := st.log.factOf(encTriple{s, p, o})
@@ -314,24 +436,44 @@ func (st *Store) matchEnc(s, p, o ID) ([]FactID, []encTriple) {
 		return []FactID{id}, []encTriple{et}
 	case s != 0 && p != 0:
 		cand = st.spo.pair(s, p, nil)
+		compact = func(dead map[FactID]bool) { st.spo.compactPair(s, p, dead) }
 	case s != 0 && o != 0:
 		cand = st.osp.pair(o, s, nil)
+		compact = func(dead map[FactID]bool) { st.osp.compactPair(o, s, dead) }
 	case s != 0:
 		cand = st.spo.lead(s, nil)
+		compact = func(dead map[FactID]bool) { st.spo.compactLead(s, dead) }
 	case p != 0 && o != 0:
 		cand = st.pos.pair(p, o, nil)
+		compact = func(dead map[FactID]bool) { st.pos.compactPair(p, o, dead) }
 	case p != 0:
 		cand = st.pos.lead(p, nil)
+		compact = func(dead map[FactID]bool) { st.pos.compactLead(p, dead) }
 	case o != 0:
 		cand = st.osp.lead(o, nil)
+		compact = func(dead map[FactID]bool) { st.osp.compactLead(o, dead) }
 	default:
 		return st.log.scan()
 	}
 	if len(cand) == 0 {
 		return nil, nil
 	}
+	total := len(cand)
 	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
-	return st.log.resolve(cand)
+	live, ets, dead := st.log.resolve(cand)
+	// Tombstone-ratio-triggered compaction: once the majority of a big
+	// copied-out posting resolves dead, prune those IDs from the posting.
+	// Tombstoned FactIDs never revive (a re-added triple gets a fresh ID),
+	// so a dead set computed here stays exact even if writers append to
+	// the posting before the compaction takes the stripe lock.
+	if len(dead)*2 > total && total >= compactMinPostings {
+		deadSet := make(map[FactID]bool, len(dead))
+		for _, id := range dead {
+			deadSet[id] = true
+		}
+		compact(deadSet)
+	}
+	return live, ets
 }
 
 // Objects returns the distinct objects of facts (s, p, ?).

@@ -1,0 +1,127 @@
+package experiments
+
+// E9c: the query serving layer under repeat traffic. The tutorial's §1
+// motivates KBs as the backbone of online services (search, QA) whose
+// query mix is heavily skewed toward repeats; the serving recipe is a
+// cost-ordered join engine behind a write-invalidated result cache. This
+// experiment measures the three regimes that recipe distinguishes: cold
+// (every query hits the engine), warm (steady-state cache hits), and
+// concurrent warm (parallel readers sharing the cache).
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"kbharvest/internal/core"
+	"kbharvest/internal/eval"
+	"kbharvest/internal/qcache"
+	"kbharvest/internal/rdf"
+	"kbharvest/internal/synth"
+)
+
+// e9cWorkload builds the serving store and a skewed query mix over it:
+// two-pattern joins plus single-pattern lookups across the world's
+// relations, the shapes a QA front-end issues.
+func e9cWorkload() (*core.Store, [][]core.Pattern) {
+	w, _ := standardWorld(119)
+	st := core.NewStore()
+	for _, f := range w.Facts {
+		st.Add(rdf.T(f.S, f.P, f.O))
+	}
+	queries := [][]core.Pattern{
+		{ // who founded a company, and where is it
+			{S: core.PVar("p"), P: core.PIRI(synth.RelFounded), O: core.PVar("c")},
+			{S: core.PVar("c"), P: core.PIRI(synth.RelLocatedIn), O: core.PVar("city")},
+		},
+		{ // employees of companies with a CEO
+			{S: core.PVar("ceo"), P: core.PIRI(synth.RelCEOOf), O: core.PVar("c")},
+			{S: core.PVar("p"), P: core.PIRI(synth.RelWorksAt), O: core.PVar("c")},
+		},
+		{ // birthplaces of prize winners
+			{S: core.PVar("p"), P: core.PIRI(synth.RelWonPrize), O: core.PVar("prize")},
+			{S: core.PVar("p"), P: core.PIRI(synth.RelBornIn), O: core.PVar("city")},
+		},
+		{ // single-pattern lookup
+			{S: core.PVar("p"), P: core.PIRI(synth.RelMarriedTo), O: core.PVar("q")},
+		},
+	}
+	return st, queries
+}
+
+// e9cQueryServing times the query mix in the three serving regimes and
+// reports throughput plus speedup over cold for each.
+func e9cQueryServing() *eval.Table {
+	st, queries := e9cWorkload()
+	const reps = 200
+	ctx := context.Background()
+
+	drain := func(run func(q []core.Pattern) ([]core.Binding, error)) (time.Duration, int) {
+		t0 := time.Now()
+		n := 0
+		for r := 0; r < reps; r++ {
+			for _, q := range queries {
+				rows, err := run(q)
+				if err != nil {
+					panic("E9c: " + err.Error())
+				}
+				n += len(rows)
+			}
+		}
+		return time.Since(t0), reps * len(queries)
+	}
+
+	// Cold: every query goes to the join engine.
+	coldD, coldN := drain(func(q []core.Pattern) ([]core.Binding, error) {
+		var rows []core.Binding
+		err := st.QueryFunc(ctx, q, 0, func(b core.Binding) bool {
+			rows = append(rows, b)
+			return true
+		})
+		return rows, err
+	})
+
+	// Warm: steady-state hits against a pre-filled cache.
+	cache := qcache.New(st, qcache.Options{})
+	for _, q := range queries {
+		if _, _, err := cache.Query(ctx, q, 0); err != nil {
+			panic("E9c: " + err.Error())
+		}
+	}
+	warmD, warmN := drain(func(q []core.Pattern) ([]core.Binding, error) {
+		rows, _, err := cache.Query(ctx, q, 0)
+		return rows, err
+	})
+
+	// Concurrent: parallel readers sharing the warm cache.
+	const readers = 8
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < reps; r++ {
+				for _, q := range queries {
+					if _, _, err := cache.Query(ctx, q, 0); err != nil {
+						panic("E9c: " + err.Error())
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	concD := time.Since(t0)
+	concN := readers * reps * len(queries)
+
+	tab := eval.NewTable("E9c: query serving — cold vs warm cache vs concurrent",
+		"mode", "queries", "ms", "q/s", "speedup")
+	qps := func(n int, d time.Duration) float64 { return float64(n) / d.Seconds() }
+	coldQPS := qps(coldN, coldD)
+	tab.AddRow("cold (engine)", coldN, float64(coldD.Microseconds())/1000, coldQPS, 1.0)
+	tab.AddRow("warm (cache)", warmN, float64(warmD.Microseconds())/1000, qps(warmN, warmD),
+		qps(warmN, warmD)/coldQPS)
+	tab.AddRow("warm x8 readers", concN, float64(concD.Microseconds())/1000, qps(concN, concD),
+		qps(concN, concD)/coldQPS)
+	return tab
+}

@@ -417,7 +417,7 @@ func E9SequenceMining() []*eval.Table {
 		top.AddRow(p.String(), p.Support)
 		n++
 	}
-	return []*eval.Table{tab, top}
+	return []*eval.Table{tab, top, e9cQueryServing()}
 }
 
 // E10Temporal — §3: inferring timespans during which facts hold.

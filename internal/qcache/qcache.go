@@ -1,0 +1,254 @@
+// Package qcache is the sharded query-result cache of the read path: it
+// memoizes the binding sets of conjunctive queries over a core.Store and
+// serves repeats without re-evaluating the join — the cheap half of the
+// cache-plus-cost-based-evaluation recipe public KB endpoints rely on to
+// survive skewed repeat traffic.
+//
+// # The generation-invalidation contract
+//
+// The cache never observes writes and writers never take cache locks.
+// Instead, the store exports monotonic write generations
+// (core.Store.PatternGen): every index stripe carries a counter that is
+// bumped by each insertion into the stripe and by each tombstone whose
+// fact the stripe indexes, and a store-wide counter (WriteGen) backs the
+// patterns no single stripe can vouch for (full scans, patterns naming
+// terms the dictionary has never interned). Because an insert bumps the
+// stripes of all three of its leading terms — and a tombstone does too —
+// any write that can change the matches of a pattern necessarily advances
+// that pattern's generation.
+//
+// A cache entry therefore records, for each pattern of its query, the
+// pattern's generation observed *before* evaluation. A hit validates each
+// recorded pattern with one atomic load: if every generation is
+// unchanged, no write can have altered the result; if any differs, the
+// entry is discarded and the query re-evaluated. Generations advancing
+// spuriously (an unrelated write hashing to the same stripe) costs a
+// recomputation, never a stale answer. Capturing the generations before
+// evaluation makes a write racing the fill land the entry with an
+// already-stale generation, so it self-invalidates on its first hit — the
+// cache is exactly as consistent as an uncached query racing the same
+// write.
+//
+// Entries are spread over 2^k independently locked shards by key hash,
+// each an LRU list, so concurrent readers contend only within a shard and
+// eviction is O(1).
+package qcache
+
+import (
+	"container/list"
+	"context"
+	"hash/maphash"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"kbharvest/internal/core"
+	"kbharvest/internal/rdf"
+)
+
+// Options tunes a Cache.
+type Options struct {
+	// Shards is the number of independently locked cache shards, rounded
+	// up to a power of two. Default 16.
+	Shards int
+	// PerShard is the maximum number of cached queries per shard (LRU
+	// evicted beyond it). Default 256.
+	PerShard int
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`    // includes generation invalidations
+	Stale     uint64 `json:"stale"`     // entries discarded on generation mismatch
+	Evictions uint64 `json:"evictions"` // LRU capacity evictions
+	Entries   int    `json:"entries"`   // current cached queries
+}
+
+// HitRate returns hits / (hits + misses), 0 when idle.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// Cache is a sharded, generation-validated LRU cache of conjunctive query
+// results. It is safe for concurrent use.
+type Cache struct {
+	st     *core.Store
+	shards []shard
+	mask   uint64
+	seed   maphash.Seed
+
+	hits, misses, stale, evictions atomic.Uint64
+}
+
+type entry struct {
+	key      string
+	pats     []rdf.Triple // constant skeleton of each pattern, for PatternGen
+	gens     []uint64     // generation of pats[i] before evaluation
+	bindings []core.Binding
+}
+
+type shard struct {
+	mu  sync.Mutex
+	m   map[string]*list.Element
+	lru list.List // front = most recently used; values are *entry
+	cap int
+}
+
+// New returns a cache over st.
+func New(st *core.Store, opt Options) *Cache {
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = 16
+	}
+	// Round up to a power of two so key hashes spread by masking.
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := opt.PerShard
+	if perShard <= 0 {
+		perShard = 256
+	}
+	c := &Cache{
+		st:     st,
+		shards: make([]shard, n),
+		mask:   uint64(n - 1),
+		seed:   maphash.MakeSeed(),
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*list.Element)
+		c.shards[i].cap = perShard
+	}
+	return c
+}
+
+// Key renders the canonical cache key of a query: its patterns plus the
+// limit (a truncated result set cannot serve a larger request).
+func Key(patterns []core.Pattern, limit int) string {
+	var b []byte
+	for _, p := range patterns {
+		for _, pt := range [3]core.PatternTerm{p.S, p.P, p.O} {
+			if pt.Var != "" {
+				b = append(b, '?')
+				b = append(b, pt.Var...)
+			} else {
+				b = append(b, pt.Const.String()...)
+			}
+			b = append(b, 0x1f)
+		}
+		b = append(b, 0x1e)
+	}
+	if limit > 0 {
+		b = strconv.AppendInt(b, int64(limit), 10)
+	}
+	return string(b)
+}
+
+// Query evaluates a conjunction of patterns through the cache, returning
+// the bindings, whether they came from a still-valid cache entry, and any
+// evaluation error (ctx cancellation; errors are never cached). limit <= 0
+// means all results. The returned bindings are shared with the cache and
+// must not be modified.
+func (c *Cache) Query(ctx context.Context, patterns []core.Pattern, limit int) ([]core.Binding, bool, error) {
+	key := Key(patterns, limit)
+	sh := &c.shards[maphash.String(c.seed, key)&c.mask]
+
+	sh.mu.Lock()
+	if el, ok := sh.m[key]; ok {
+		e := el.Value.(*entry)
+		if c.valid(e) {
+			sh.lru.MoveToFront(el)
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			return e.bindings, true, nil
+		}
+		sh.lru.Remove(el)
+		delete(sh.m, key)
+		c.stale.Add(1)
+	}
+	sh.mu.Unlock()
+	c.misses.Add(1)
+
+	// Capture each pattern's generation before evaluating so a write
+	// racing the evaluation leaves the entry already-stale.
+	pats := make([]rdf.Triple, len(patterns))
+	gens := make([]uint64, len(patterns))
+	for i, p := range patterns {
+		pats[i] = constSkeleton(p)
+		gens[i] = c.st.PatternGen(pats[i])
+	}
+	var bindings []core.Binding
+	if err := c.st.QueryFunc(ctx, patterns, limit, func(b core.Binding) bool {
+		bindings = append(bindings, b)
+		return true
+	}); err != nil {
+		return nil, false, err
+	}
+
+	e := &entry{key: key, pats: pats, gens: gens, bindings: bindings}
+	sh.mu.Lock()
+	if el, ok := sh.m[key]; ok {
+		// A concurrent miss filled the same key; keep the newer entry.
+		sh.lru.Remove(el)
+		delete(sh.m, key)
+	}
+	sh.m[key] = sh.lru.PushFront(e)
+	for sh.lru.Len() > sh.cap {
+		last := sh.lru.Back()
+		sh.lru.Remove(last)
+		delete(sh.m, last.Value.(*entry).key)
+		c.evictions.Add(1)
+	}
+	sh.mu.Unlock()
+	return bindings, false, nil
+}
+
+// valid reports whether every pattern generation recorded in e is still
+// current — one atomic load per pattern.
+func (c *Cache) valid(e *entry) bool {
+	for i, pat := range e.pats {
+		if c.st.PatternGen(pat) != e.gens[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// constSkeleton reduces a pattern to the constant triple PatternGen keys
+// on: variables — bound later by the join or not at all — act as
+// wildcards, which is conservative (the chosen stripe is bumped by every
+// write that could affect any instantiation of the pattern).
+func constSkeleton(p core.Pattern) rdf.Triple {
+	var t rdf.Triple
+	if p.S.Var == "" {
+		t.S = p.S.Const
+	}
+	if p.P.Var == "" {
+		t.P = p.P.Const
+	}
+	if p.O.Var == "" {
+		t.O = p.O.Const
+	}
+	return t
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Stale:     c.stale.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return s
+}
