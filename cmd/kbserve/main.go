@@ -58,6 +58,17 @@ func main() {
 	log.Printf("loaded %d facts from %s: %s", n, *kbPath, st)
 
 	srv := newServer(st, qcache.Options{Shards: *cacheShards, PerShard: *cachePerShard}, *timeout)
+	// A public serving endpoint needs connection-level timeouts: the
+	// per-request query timeout only starts once a request is parsed, so
+	// without these a client trickling headers or a body holds a
+	// connection open indefinitely (slowloris).
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 	log.Printf("serving on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	log.Fatal(hs.ListenAndServe())
 }

@@ -107,15 +107,40 @@ func TestPatternGenAdvancesOnWrites(t *testing.T) {
 	if g2 := st.PatternGen(pat); g2 == g1 {
 		t.Error("tombstone matching (? p ?) did not advance its pattern generation")
 	}
-	// Unknown-term patterns fall back to the store-wide generation.
+	// Unknown-term patterns fall back to the store-wide generation,
+	// tagged so the fallback domain is disjoint from stripe generations.
 	unk := rdf.Triple{P: rdf.NewIRI("kb:neverSeen")}
 	gu := st.PatternGen(unk)
-	if gu != st.WriteGen() {
-		t.Errorf("unknown-term pattern gen = %d, want WriteGen %d", gu, st.WriteGen())
+	if gu != st.WriteGen()|genFallbackTag {
+		t.Errorf("unknown-term pattern gen = %d, want tagged WriteGen %d", gu, st.WriteGen()|genFallbackTag)
 	}
 	st.Add(rdf.T("kb:e", "kb:q", "kb:f"))
 	if st.PatternGen(unk) == gu {
 		t.Error("unknown-term pattern generation must advance on any write")
+	}
+}
+
+// A pattern whose term is unknown reads the tagged store-wide fallback;
+// once a write interns the term the pattern reads an untagged stripe
+// generation. The two must never compare equal, even when the underlying
+// counters coincide — otherwise a cache could validate a result computed
+// before the term existed (e.g. writeGen=1 recorded for an unknown term,
+// then the interning insert lands the term's stripe at generation 1).
+func TestPatternGenFallbackDisjointFromStripeGen(t *testing.T) {
+	st := NewStore()
+	st.Add(rdf.T("kb:a", "kb:p", "kb:o")) // writeGen = 1
+	pat := rdf.Triple{S: rdf.NewIRI("kb:b"), P: rdf.NewIRI("kb:p")}
+	before := st.PatternGen(pat) // kb:b unknown: tagged fallback
+	if before&genFallbackTag == 0 {
+		t.Fatalf("unknown-term pattern gen %d is not tagged as fallback", before)
+	}
+	st.Add(rdf.T("kb:b", "kb:p", "kb:o2")) // interns kb:b on a fresh stripe
+	after := st.PatternGen(pat)
+	if after&genFallbackTag != 0 {
+		t.Fatalf("interned pattern gen %d still tagged as fallback", after)
+	}
+	if after == before {
+		t.Errorf("pattern gen unchanged (%d) across the write that interned its subject", after)
 	}
 }
 

@@ -182,9 +182,14 @@ func (st *Store) QueryFunc(ctx context.Context, patterns []Pattern, limit int, f
 		rest[0], rest[best] = rest[best], rest[0]
 		return ok
 	}
-	step(make(Binding), remaining)
-	if err := ctx.Err(); err != nil && !stopped {
-		return err
+	completed := step(make(Binding), remaining)
+	// step returns false only when cut short: by fn/limit (stopped) or by
+	// cancellation. A context expiring after the traversal already
+	// completed must not discard the fully-computed result.
+	if !completed && !stopped {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -331,6 +331,31 @@ func TestQueryFuncCancellation(t *testing.T) {
 	}
 }
 
+// A context that expires only after the traversal already visited every
+// match must not discard the fully-computed result: callers (qcache,
+// kbserve) would otherwise drop an answer they have in hand. Cancelling
+// from within the callback of the final row makes the race deterministic.
+func TestQueryFuncCompletionBeatsCancellation(t *testing.T) {
+	st := NewStore()
+	st.Add(rdf.T("jobs", "founded", "apple"))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	err := st.QueryFunc(ctx, []Pattern{
+		{S: PVar("x"), P: PIRI("founded"), O: PVar("c")},
+	}, 0, func(Binding) bool {
+		n++
+		cancel() // fires "just after" the last row: traversal still completes
+		return true
+	})
+	if err != nil {
+		t.Errorf("err = %v, want nil for a traversal that completed before cancellation", err)
+	}
+	if n != 1 {
+		t.Errorf("emitted %d rows, want 1", n)
+	}
+}
+
 func TestQueryFactRemovedBetweenJoinPatterns(t *testing.T) {
 	// A fact removed after the first pattern matched it must not survive
 	// into rows produced by later patterns of the same join.

@@ -17,10 +17,20 @@ import (
 //
 // Layout:
 //
+//	#!kbsnap 2
 //	<s> <p> <o> .
 //	#!meta <conf> <begin> <end> <source...>
 //
-// A meta line applies to the immediately preceding fact line.
+// A meta line applies to the immediately preceding fact line. The
+// "#!kbsnap" header identifies a snapshot whose meta sources are escaped
+// (escapeMetaSource); Load unescapes only when it has seen the header, so
+// legacy snapshots written before escaping existed load their sources —
+// backslash sequences included — verbatim.
+
+// snapshotHeader marks a snapshot written by the escaping writer. Format
+// version 2 = meta-source escaping; version 1 (no header) wrote sources
+// verbatim.
+const snapshotHeader = "#!kbsnap 2"
 
 // Save writes the store to w. Facts appear in insertion order. The fact
 // list and metadata are captured in one consistent view before
@@ -28,6 +38,9 @@ import (
 func (st *Store) Save(w io.Writer) error {
 	_, ets, infos := st.log.snapshot()
 	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotHeader + "\n"); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
 	for i, et := range ets {
 		if _, err := bw.WriteString(st.decode(et).String()); err != nil {
 			return fmt.Errorf("core: save: %w", err)
@@ -60,6 +73,7 @@ func (st *Store) Load(r io.Reader) (int, error) {
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	n := 0
 	lineNo := 0
+	escaped := false // saw snapshotHeader: meta sources are escaped
 	var (
 		pending []rdf.Triple
 		infos   []*FactInfo
@@ -77,11 +91,14 @@ func (st *Store) Load(r io.Reader) (int, error) {
 		switch {
 		case line == "":
 			continue
+		case strings.HasPrefix(line, "#!kbsnap"):
+			escaped = true
+			continue
 		case strings.HasPrefix(line, "#!meta "):
 			if len(pending) == 0 {
 				return n, fmt.Errorf("core: load: line %d: meta without preceding fact", lineNo)
 			}
-			info, err := parseMetaLine(line)
+			info, err := parseMetaLine(line, escaped)
 			if err != nil {
 				return n, fmt.Errorf("core: load: line %d: %w", lineNo, err)
 			}
@@ -115,7 +132,10 @@ func (st *Store) Load(r io.Reader) (int, error) {
 	return n, nil
 }
 
-func parseMetaLine(line string) (FactInfo, error) {
+// parseMetaLine decodes one "#!meta" line. escaped reports whether the
+// snapshot carries the version header, i.e. its sources were written by
+// escapeMetaSource and must be unescaped; legacy sources load verbatim.
+func parseMetaLine(line string, escaped bool) (FactInfo, error) {
 	fields := strings.SplitN(strings.TrimPrefix(line, "#!meta "), " ", 4)
 	if len(fields) < 3 {
 		return FactInfo{}, fmt.Errorf("malformed meta line %q", line)
@@ -134,7 +154,10 @@ func parseMetaLine(line string) (FactInfo, error) {
 	}
 	src := ""
 	if len(fields) == 4 {
-		src = unescapeMetaSource(fields[3])
+		src = fields[3]
+		if escaped {
+			src = unescapeMetaSource(src)
+		}
 	}
 	return FactInfo{Confidence: conf, Source: src, Time: Interval{begin, end}}, nil
 }
@@ -164,9 +187,11 @@ func escapeMetaSource(s string) string {
 	return b.String()
 }
 
-// unescapeMetaSource inverts escapeMetaSource. Unknown escape sequences
-// (from snapshots written before escaping existed) pass through verbatim,
-// so legacy sources containing backslashes still load unchanged.
+// unescapeMetaSource inverts escapeMetaSource. It is only applied to
+// snapshots carrying the version header (see parseMetaLine): escaping
+// writers always escape backslashes, so within a versioned snapshot every
+// `\n`, `\r` and `\\` sequence is an escape, and unknown sequences (which
+// an escaping writer never emits) pass through verbatim.
 func unescapeMetaSource(s string) string {
 	if !strings.Contains(s, `\`) {
 		return s

@@ -186,17 +186,50 @@ func TestSnapshotRoundTripHostileSources(t *testing.T) {
 	}
 }
 
-// Legacy snapshots written before source escaping existed must still load
-// their backslashes verbatim.
+// Legacy snapshots — no "#!kbsnap" header, written before source escaping
+// existed — must load their backslashes verbatim, including sequences
+// that look like escapes (\n, \r, \\).
 func TestSnapshotLegacyBackslashSource(t *testing.T) {
-	snapshot := "<kb:s> <kb:p> <kb:o> .\n#!meta 0.5 1 2 C:\\data\\articles\n"
+	for _, src := range []string{
+		`C:\data\articles`,
+		`C:\network\new`, // \n must stay a literal backslash-n, not a newline
+		`C:\raw\route`,   // likewise \r
+		`double\\slash`,
+	} {
+		snapshot := "<kb:s> <kb:p> <kb:o> .\n#!meta 0.5 1 2 " + src + "\n"
+		st := NewStore()
+		if _, err := st.Load(strings.NewReader(snapshot)); err != nil {
+			t.Fatal(err)
+		}
+		id, _ := st.FactOf(rdf.T("kb:s", "kb:p", "kb:o"))
+		info, _ := st.Info(id)
+		if info.Source != src {
+			t.Errorf("legacy source = %q, want %q", info.Source, src)
+		}
+	}
+}
+
+// The version header makes a snapshot self-describing: Save's output
+// carries it, Load treats it as a comment-compatible marker, and other
+// "#"-prefixed lines still load as before.
+func TestSnapshotHeaderWrittenAndGatesUnescaping(t *testing.T) {
 	st := NewStore()
-	if _, err := st.Load(strings.NewReader(snapshot)); err != nil {
+	id := st.Add(rdf.T("kb:s", "kb:p", "kb:o"))
+	st.SetInfo(id, FactInfo{Confidence: 0.5, Source: "a\nb", Time: Interval{1, 2}})
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	id, _ := st.FactOf(rdf.T("kb:s", "kb:p", "kb:o"))
-	info, _ := st.Info(id)
-	if info.Source != `C:\data\articles` {
-		t.Errorf("legacy source = %q", info.Source)
+	if !strings.HasPrefix(buf.String(), "#!kbsnap 2\n") {
+		t.Fatalf("snapshot does not start with version header:\n%s", buf.String())
+	}
+	loaded := NewStore()
+	if _, err := loaded.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	lid, _ := loaded.FactOf(rdf.T("kb:s", "kb:p", "kb:o"))
+	info, _ := loaded.Info(lid)
+	if info.Source != "a\nb" {
+		t.Errorf("versioned source = %q, want %q", info.Source, "a\nb")
 	}
 }

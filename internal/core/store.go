@@ -248,6 +248,15 @@ func (st *Store) WriteGen() uint64 {
 	return st.writeGen.Load()
 }
 
+// genFallbackTag marks a PatternGen value drawn from the store-wide
+// WriteGen rather than an index stripe. Stripe generations and the write
+// generation are unrelated counters, so without the tag a pattern that
+// migrates between the two sources (a term interned by a later write)
+// could coincidentally produce equal values and validate a stale cached
+// result. Both counters count writes and cannot approach 2^63, so the top
+// bit is free to keep the two value domains disjoint.
+const genFallbackTag = uint64(1) << 63
+
 // PatternGen returns the write generation guarding a match pattern
 // (zero-valued terms are wildcards): the generation of the index stripe
 // MatchFunc would read the pattern from. Every write that can change the
@@ -256,19 +265,21 @@ func (st *Store) WriteGen() uint64 {
 // result for the pattern is valid as long as one atomic load returns the
 // generation observed before it was computed. Patterns that resolve to no
 // single stripe (full scans, patterns naming unknown terms) fall back to
-// the store-wide WriteGen and thus invalidate on any write.
+// the store-wide WriteGen, tagged with genFallbackTag so the fallback can
+// never compare equal to a stripe generation once a later write interns
+// the pattern's terms; tagged values invalidate on any write.
 func (st *Store) PatternGen(pattern rdf.Triple) uint64 {
 	s, ok := st.lookup(pattern.S)
 	if !ok {
-		return st.writeGen.Load()
+		return st.writeGen.Load() | genFallbackTag
 	}
 	p, ok := st.lookup(pattern.P)
 	if !ok {
-		return st.writeGen.Load()
+		return st.writeGen.Load() | genFallbackTag
 	}
 	o, ok := st.lookup(pattern.O)
 	if !ok {
-		return st.writeGen.Load()
+		return st.writeGen.Load() | genFallbackTag
 	}
 	switch {
 	case s != 0:
@@ -278,7 +289,7 @@ func (st *Store) PatternGen(pattern rdf.Triple) uint64 {
 	case o != 0:
 		return st.osp.genOf(o)
 	default:
-		return st.writeGen.Load()
+		return st.writeGen.Load() | genFallbackTag
 	}
 }
 

@@ -78,6 +78,38 @@ func TestCacheInvalidatedByInsert(t *testing.T) {
 	}
 }
 
+// A query naming a term the dictionary has never interned records the
+// store-wide fallback generation. The write that then interns the term
+// puts it on a fresh stripe whose counter starts near the recorded
+// fallback value — with untagged generations a store holding one fact
+// (writeGen=1) would see the new stripe also at generation 1 and serve
+// the stale empty result. The fallback tag must force a miss instead.
+func TestCacheInvalidatedWhenUnknownTermInterned(t *testing.T) {
+	st := core.NewStore()
+	st.Add(rdf.T("seed", "rel", "x")) // one fact: writeGen = 1
+	c := New(st, Options{})
+	ctx := context.Background()
+	q := []core.Pattern{{S: core.PIRI("b"), P: core.PIRI("rel"), O: core.PVar("o")}}
+	rows, _, err := c.Query(ctx, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("pre-intern rows = %d, want 0", len(rows))
+	}
+	st.Add(rdf.T("b", "rel", "y")) // interns "b" on a fresh stripe
+	rows, cached, err := c.Query(ctx, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("stale empty entry survived the write that interned its subject")
+	}
+	if len(rows) != 1 {
+		t.Errorf("post-intern rows = %d, want 1", len(rows))
+	}
+}
+
 func TestCacheInvalidatedByRemove(t *testing.T) {
 	st := fixture()
 	c := New(st, Options{})
