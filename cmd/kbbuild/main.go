@@ -1,10 +1,17 @@
 // Kbbuild runs the full knowledge-base construction pipeline over a
 // synthetic corpus and writes the resulting KB snapshot.
 //
+// With -shards N the snapshot is hash-partitioned by subject into
+// kb.0.nt … kb.N-1.nt (for -out kb.nt), one file per kbserve shard; the
+// partition function lives in internal/shardkb so kbrouter routes
+// queries to the same shard kbbuild wrote each subject to. The plain
+// single-file snapshot is simply the N=1 case.
+//
 // Usage:
 //
 //	kbbuild -out kb.nt              # default-scale world
 //	kbbuild -scale 2 -seed 7 -out kb.nt -workers 8
+//	kbbuild -out kb.nt -shards 4    # kb.0.nt … kb.3.nt
 //	kbbuild -no-reason              # skip consistency reasoning
 package main
 
@@ -12,17 +19,93 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 
 	"kbharvest/internal/core"
 	"kbharvest/internal/eval"
 	"kbharvest/internal/ingest"
 	"kbharvest/internal/pipeline"
 	"kbharvest/internal/rdf"
+	"kbharvest/internal/shardkb"
 	"kbharvest/internal/synth"
 )
+
+// shardPaths derives the per-partition snapshot names from -out:
+// kb.nt with 4 shards becomes kb.0.nt … kb.3.nt. With n <= 1 the
+// single-file name is used as-is.
+func shardPaths(out string, n int) []string {
+	if n <= 1 {
+		return []string{out}
+	}
+	ext := filepath.Ext(out)
+	base := strings.TrimSuffix(out, ext)
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("%s.%d%s", base, i, ext)
+	}
+	return paths
+}
+
+// writeShards saves the store hash-partitioned across the given paths
+// using the shared subject-hash shard function.
+func writeShards(st *core.Store, paths []string) error {
+	ws := make([]io.Writer, len(paths))
+	files := make([]*os.File, len(paths))
+	for i, p := range paths {
+		f, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		files[i] = f
+		ws[i] = f
+	}
+	n := len(paths)
+	err := st.SaveShards(ws, func(t rdf.Triple) int { return shardkb.TripleShard(t, n) })
+	for _, f := range files {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// checkShards reloads every partition and verifies (a) the per-shard
+// fact counts sum to the store's count and (b) each reloaded fact lives
+// in the partition its subject hashes to.
+func checkShards(paths []string, want int) error {
+	total := 0
+	n := len(paths)
+	for i, p := range paths {
+		g, err := os.Open(p)
+		if err != nil {
+			return fmt.Errorf("check: %w", err)
+		}
+		reloaded := core.NewStore()
+		got, err := reloaded.Load(g)
+		g.Close()
+		if err != nil {
+			return fmt.Errorf("check: reload %s: %w", p, err)
+		}
+		if reloaded.Len() != got {
+			return fmt.Errorf("check: %s: read %d facts but store holds %d", p, got, reloaded.Len())
+		}
+		for _, t := range reloaded.All() {
+			if s := shardkb.TripleShard(t, n); s != i {
+				return fmt.Errorf("check: %s holds %s, which hashes to shard %d", p, t, s)
+			}
+		}
+		total += got
+	}
+	if total != want {
+		return fmt.Errorf("check: shards round-trip %d facts, wrote %d", total, want)
+	}
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -35,9 +118,16 @@ func main() {
 	noReason := flag.Bool("no-reason", false, "disable consistency reasoning")
 	reify := flag.String("reify", "", "also export SPOTL-style reified facts (metadata as triples) to this path")
 	check := flag.Bool("check", false, "reload the written snapshot and verify the fact count round-trips")
+	shards := flag.Int("shards", 1, "hash-partition the snapshot by subject into this many files")
 	flag.Parse()
 	if *check && *out == "" {
 		log.Fatal("-check requires -out")
+	}
+	if *shards < 1 {
+		log.Fatal("-shards must be >= 1")
+	}
+	if *shards > 1 && *out == "" {
+		log.Fatal("-shards requires -out")
 	}
 
 	// Ctrl-C cancels the pipeline run cleanly instead of killing the
@@ -68,31 +158,20 @@ func main() {
 		fmt.Printf("  stage %-10s %8v  %6d items\n", st.Stage, st.Duration.Round(1e6), st.Items)
 	}
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		paths := shardPaths(*out, *shards)
+		if err := writeShards(res.KB, paths); err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		if err := res.KB.Save(f); err != nil {
-			log.Fatal(err)
+		if *shards > 1 {
+			fmt.Printf("snapshot partitioned into %d shards: %s … %s\n", *shards, paths[0], paths[len(paths)-1])
+		} else {
+			fmt.Printf("snapshot written to %s\n", *out)
 		}
-		fmt.Printf("snapshot written to %s\n", *out)
 		if *check {
-			g, err := os.Open(*out)
-			if err != nil {
+			if err := checkShards(paths, stats.Facts); err != nil {
 				log.Fatal(err)
 			}
-			defer g.Close()
-			reloaded := core.NewStore()
-			n, err := reloaded.Load(g)
-			if err != nil {
-				log.Fatalf("check: reload: %v", err)
-			}
-			if n != stats.Facts || reloaded.Len() != stats.Facts {
-				log.Fatalf("check: snapshot round-trip lost facts: wrote %d, reloaded %d (live %d)",
-					stats.Facts, n, reloaded.Len())
-			}
-			fmt.Printf("check: snapshot round-trips %d facts\n", n)
+			fmt.Printf("check: %d shard(s) round-trip %d facts\n", len(paths), stats.Facts)
 		}
 	}
 	if *reify != "" {

@@ -1,0 +1,138 @@
+// Kbrouter is the scatter/gather front of the sharded serving tier. It
+// speaks the same /query JSON protocol as kbserve but answers from N
+// kbserve shards: multi-pattern conjunctive queries are planned
+// router-side — patterns ordered by summed shard estimates (each shard's
+// /estimate endpoint), bindings substituted step by step — and each
+// concrete pattern is either pinned to the one shard its subject hashes
+// to (a point lookup costs one RPC at any shard count) or scattered to
+// all shards concurrently and joined locally.
+//
+// # Deployment topology
+//
+// The tier is built in three steps, all agreeing on the subject-hash
+// shard function in internal/shardkb:
+//
+//	kbbuild -shards N -out kb.nt     # writes kb.0.nt … kb.N-1.nt
+//	kbserve -kb kb.i.nt -addr :808i  # one process per partition
+//	kbrouter -shards http://host0:8080,…,http://hostN-1:8080
+//
+// Shard order on the kbrouter command line must match the partition
+// indexes kbbuild wrote: shard i of the router is queried for exactly
+// the subjects that hash to partition i. Adding capacity means
+// re-partitioning with a new N and rolling the tier; kbserve drains
+// gracefully on SIGTERM so a rolling restart behind the router never
+// drops in-flight queries, and the router's /readyz refuses traffic
+// until every shard reports a loaded snapshot.
+//
+// Usage:
+//
+//	kbrouter -shards http://h0:8080,http://h1:8080 [-addr :8090]
+//	         [-timeout 5s] [-shard-timeout 2s] [-max-inflight 16]
+//	         [-allow-partial]
+//
+// Endpoints:
+//
+//	POST /query   same JSON protocol as kbserve; responses gain a
+//	              "partial": true flag when -allow-partial merged
+//	              results with a shard down (the default policy instead
+//	              fails such queries with a partial error)
+//	GET  /statsz  per-shard latency, fan-out counts, fast-path hit
+//	              rate, partial-failure counts
+//	GET  /healthz liveness probe
+//	GET  /readyz  readiness of the whole tier (503 until every shard
+//	              serves a loaded snapshot)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"kbharvest/internal/shardkb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kbrouter: ")
+	shards := flag.String("shards", "", "comma-separated kbserve base URLs, in partition order (required)")
+	addr := flag.String("addr", ":8090", "listen address")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request query timeout")
+	shardTimeout := flag.Duration("shard-timeout", 2*time.Second, "per-shard RPC timeout")
+	maxInflight := flag.Int("max-inflight", 0, "bound on concurrent shard RPCs (0 = 2x shard count)")
+	allowPartial := flag.Bool("allow-partial", false, "merge available results when shards fail instead of failing the query")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
+	flag.Parse()
+	if *shards == "" {
+		fmt.Fprintln(os.Stderr, "usage: kbrouter -shards http://h0:8080,http://h1:8080 [-addr :8090]")
+		os.Exit(2)
+	}
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	client, err := shardkb.New(urls, shardkb.Options{
+		Timeout:      *shardTimeout,
+		MaxInFlight:  *maxInflight,
+		AllowPartial: *allowPartial,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Startup readiness probe: don't refuse to start (shards may still be
+	// loading — /readyz gates traffic), but tell the operator.
+	probe, cancel := context.WithTimeout(context.Background(), *shardTimeout+time.Second)
+	if replies, err := client.Ready(probe); err != nil {
+		log.Printf("warning: shard tier not ready yet: %v", err)
+	} else {
+		facts := 0
+		for _, r := range replies {
+			facts += r.Facts
+		}
+		log.Printf("%d shards ready, %d facts total", len(urls), facts)
+	}
+	cancel()
+
+	rt := newRouter(client, *timeout)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           rt,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("routing %d shards on %s", len(urls), *addr)
+		errc <- hs.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("signal received, draining for up to %v", *drain)
+	sctx, scancel := context.WithTimeout(context.Background(), *drain)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("drained, exiting")
+}

@@ -1,7 +1,9 @@
 // Kbserve is the long-lived query serving surface of the knowledge base:
 // it loads a snapshot once and serves concurrent conjunctive queries over
 // HTTP through the sharded result cache (internal/qcache), with
-// per-request timeouts and an operational stats endpoint.
+// per-request timeouts and an operational stats endpoint. The handler
+// itself lives in internal/serve; N kbserve processes over partitioned
+// snapshots (kbbuild -shards) form the shard tier behind cmd/kbrouter.
 //
 // Usage:
 //
@@ -9,27 +11,38 @@
 //
 // Endpoints:
 //
-//	POST /query   {"patterns": ["?p kb:founded ?c", "?c kb:locatedIn ?city"], "limit": 100}
-//	              -> {"vars": [...], "rows": [{"var": "<term>"}, ...], "count": N,
-//	                  "cached": true|false, "took_us": T}
-//	              Patterns use the kbquery "s p o" syntax: ?name marks
-//	              variables, bare tokens and <...> are IRIs, double-quoted
-//	              strings are literals. An all-constant query returns
-//	              {"ask": true|false} instead of rows.
-//	GET  /statsz  cache hit rate, query latency histogram, store stats
-//	GET  /healthz liveness probe
+//	POST /query    {"patterns": ["?p kb:founded ?c", "?c kb:locatedIn ?city"], "limit": 100}
+//	               -> {"vars": [...], "rows": [{"var": "<term>"}, ...], "count": N,
+//	                   "cached": true|false, "took_us": T}
+//	               Patterns use the kbquery "s p o" syntax: ?name marks
+//	               variables, bare tokens and <...> are IRIs, double-quoted
+//	               strings are literals. An all-constant query returns
+//	               {"ask": true|false} instead of rows.
+//	POST /estimate {"patterns": [...]} -> per-pattern index-cardinality bounds
+//	GET  /statsz   cache hit rate, query latency histogram, store stats
+//	GET  /healthz  liveness probe
+//	GET  /readyz   readiness: fact count + snapshot path, 503 while empty
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests for up to -drain before exiting, so a rolling
+// restart behind kbrouter never kills queries mid-flight.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"kbharvest/internal/core"
 	"kbharvest/internal/qcache"
+	"kbharvest/internal/serve"
 )
 
 func main() {
@@ -38,6 +51,7 @@ func main() {
 	kbPath := flag.String("kb", "", "KB snapshot path (required)")
 	addr := flag.String("addr", ":8080", "listen address")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-request query timeout")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 	cacheShards := flag.Int("cache-shards", 16, "result cache shard count")
 	cachePerShard := flag.Int("cache-per-shard", 256, "cached queries per shard")
 	flag.Parse()
@@ -57,7 +71,11 @@ func main() {
 	}
 	log.Printf("loaded %d facts from %s: %s", n, *kbPath, st)
 
-	srv := newServer(st, qcache.Options{Shards: *cacheShards, PerShard: *cachePerShard}, *timeout)
+	srv := serve.NewServer(st, serve.Options{
+		Cache:    qcache.Options{Shards: *cacheShards, PerShard: *cachePerShard},
+		Timeout:  *timeout,
+		Snapshot: *kbPath,
+	})
 	// A public serving endpoint needs connection-level timeouts: the
 	// per-request query timeout only starts once a request is parsed, so
 	// without these a client trickling headers or a body holds a
@@ -69,6 +87,31 @@ func main() {
 		ReadTimeout:       10 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
-	log.Printf("serving on %s", *addr)
-	log.Fatal(hs.ListenAndServe())
+
+	// Serve until SIGINT/SIGTERM, then drain: Shutdown stops accepting
+	// new connections and waits for in-flight requests up to the drain
+	// deadline, so rolling restarts behind kbrouter are lossless.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("signal received, draining for up to %v", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("drained, exiting")
 }

@@ -56,9 +56,15 @@ func ParsePatternTerm(s string) (PatternTerm, error) {
 	case strings.HasPrefix(s, `"`) || strings.HasSuffix(s, `"`):
 		// A term touching a double quote must be a complete literal;
 		// a lone '"' or an unterminated `"abc` is a parse error, not an
-		// IRI whose name happens to contain a quote.
-		if len(s) >= 2 && strings.HasPrefix(s, `"`) && strings.HasSuffix(s, `"`) {
-			return PTerm(rdf.NewLiteral(s[1 : len(s)-1])), nil
+		// IRI whose name happens to contain a quote. Full N-Triples
+		// literal syntax is accepted (escapes, @lang, ^^<datatype>), so
+		// a term serialized with rdf.Term.String round-trips through a
+		// pattern — the property the scatter/gather wire protocol
+		// (internal/shardkb) relies on when substituting bindings.
+		if strings.HasPrefix(s, `"`) {
+			if t, err := rdf.ParseTerm(s); err == nil && t.IsLiteral() {
+				return PTerm(t), nil
+			}
 		}
 		return PatternTerm{}, fmt.Errorf("core: unterminated or bare quote in literal %q", s)
 	default:

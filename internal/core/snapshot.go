@@ -36,13 +36,38 @@ const snapshotHeader = "#!kbsnap 2"
 // list and metadata are captured in one consistent view before
 // serialization, so concurrent writers cannot tear a snapshot.
 func (st *Store) Save(w io.Writer) error {
+	return st.SaveShards([]io.Writer{w}, nil)
+}
+
+// SaveShards writes the store hash-partitioned across len(ws) snapshot
+// files: each fact (and its meta line) goes to ws[shardOf(triple)], and
+// every shard carries the version header, so each output is itself a
+// complete, loadable snapshot of its partition. A nil shardOf (only
+// sensible with one writer) routes everything to ws[0]. Like Save, the
+// fact list is captured in one consistent view before serialization.
+func (st *Store) SaveShards(ws []io.Writer, shardOf func(rdf.Triple) int) error {
+	if len(ws) == 0 {
+		return fmt.Errorf("core: save: no shard writers")
+	}
 	_, ets, infos := st.log.snapshot()
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(snapshotHeader + "\n"); err != nil {
-		return fmt.Errorf("core: save: %w", err)
+	bws := make([]*bufio.Writer, len(ws))
+	for i, w := range ws {
+		bws[i] = bufio.NewWriter(w)
+		if _, err := bws[i].WriteString(snapshotHeader + "\n"); err != nil {
+			return fmt.Errorf("core: save: %w", err)
+		}
 	}
 	for i, et := range ets {
-		if _, err := bw.WriteString(st.decode(et).String()); err != nil {
+		t := st.decode(et)
+		shard := 0
+		if shardOf != nil {
+			shard = shardOf(t)
+			if shard < 0 || shard >= len(ws) {
+				return fmt.Errorf("core: save: shard function returned %d for %d writers", shard, len(ws))
+			}
+		}
+		bw := bws[shard]
+		if _, err := bw.WriteString(t.String()); err != nil {
 			return fmt.Errorf("core: save: %w", err)
 		}
 		if err := bw.WriteByte('\n'); err != nil {
@@ -55,8 +80,10 @@ func (st *Store) Save(w io.Writer) error {
 			}
 		}
 	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("core: save: %w", err)
+	for _, bw := range bws {
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("core: save: %w", err)
+		}
 	}
 	return nil
 }
@@ -87,26 +114,34 @@ func (st *Store) Load(r io.Reader) (int, error) {
 	}
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
+		// Trim only line-ending characters: the scanner already stripped
+		// the \n, so only a \r (CRLF files) can remain. Interior and
+		// trailing spaces/tabs must survive — escapeMetaSource wrote meta
+		// sources byte-faithfully, and a TrimSpace here would silently
+		// mangle a source with trailing whitespace on reload.
+		line := strings.TrimRight(sc.Text(), "\r")
+		// Classify on a left-trimmed view so hand-indented comment and
+		// meta lines still parse, without disturbing the trailing bytes.
+		ltrim := strings.TrimLeft(line, " \t")
 		switch {
-		case line == "":
+		case strings.TrimSpace(ltrim) == "":
 			continue
-		case strings.HasPrefix(line, "#!kbsnap"):
+		case strings.HasPrefix(ltrim, "#!kbsnap"):
 			escaped = true
 			continue
-		case strings.HasPrefix(line, "#!meta "):
+		case strings.HasPrefix(ltrim, "#!meta "):
 			if len(pending) == 0 {
 				return n, fmt.Errorf("core: load: line %d: meta without preceding fact", lineNo)
 			}
-			info, err := parseMetaLine(line, escaped)
+			info, err := parseMetaLine(ltrim, escaped)
 			if err != nil {
 				return n, fmt.Errorf("core: load: line %d: %w", lineNo, err)
 			}
 			infos[len(infos)-1] = &info
-		case strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(ltrim, "#"):
 			continue
 		default:
-			t, err := rdf.ParseTriple(line)
+			t, err := rdf.ParseTriple(strings.TrimSpace(line))
 			if err != nil {
 				return n, fmt.Errorf("core: load: line %d: %w", lineNo, err)
 			}

@@ -3,8 +3,10 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"kbharvest/internal/rdf"
@@ -206,6 +208,181 @@ func TestSnapshotLegacyBackslashSource(t *testing.T) {
 		if info.Source != src {
 			t.Errorf("legacy source = %q, want %q", info.Source, src)
 		}
+	}
+}
+
+// Regression: Load used to TrimSpace every line, silently mangling meta
+// sources with leading or trailing spaces/tabs that escapeMetaSource had
+// faithfully written. Only line-ending characters may be trimmed, so
+// sources round-trip byte-exactly.
+func TestSnapshotSourceWhitespaceRoundTrip(t *testing.T) {
+	sources := []string{
+		"trailing-space ",
+		"trailing-tab\t",
+		"trailing-both \t ",
+		"  leading-spaces",
+		"\tleading-tab",
+		" padded both sides \t",
+	}
+	st := NewStore()
+	for i, src := range sources {
+		id := st.Add(rdf.T(fmt.Sprintf("kb:ws%d", i), "kb:rel", "kb:o"))
+		st.SetInfo(id, FactInfo{Confidence: 0.5, Source: src, Time: Interval{1, 2}})
+	}
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewStore()
+	if n, err := loaded.Load(bytes.NewReader(buf.Bytes())); err != nil || n != len(sources) {
+		t.Fatalf("Load = %d, %v", n, err)
+	}
+	for i, src := range sources {
+		id, ok := loaded.FactOf(rdf.T(fmt.Sprintf("kb:ws%d", i), "kb:rel", "kb:o"))
+		if !ok {
+			t.Fatalf("fact %d missing", i)
+		}
+		info, _ := loaded.Info(id)
+		if info.Source != src {
+			t.Errorf("source %d = %q, want %q", i, info.Source, src)
+		}
+	}
+}
+
+// A snapshot whose final fact line lacks a trailing newline (truncated
+// copy, hand-edited file) must still load every fact.
+func TestLoadNoTrailingNewline(t *testing.T) {
+	in := "#!kbsnap 2\n<kb:a> <kb:p> <kb:b> .\n#!meta 0.5 1 2 src\n<kb:c> <kb:p> <kb:d> ."
+	st := NewStore()
+	n, err := st.Load(strings.NewReader(in))
+	if err != nil || n != 2 {
+		t.Fatalf("Load = %d, %v", n, err)
+	}
+	if !st.Has(rdf.T("kb:c", "kb:p", "kb:d")) {
+		t.Error("final newline-less fact missing")
+	}
+	id, _ := st.FactOf(rdf.T("kb:a", "kb:p", "kb:b"))
+	if info, _ := st.Info(id); info.Source != "src" {
+		t.Errorf("meta source = %q", info.Source)
+	}
+}
+
+// Save must produce a consistent, loadable view while writers churn the
+// store: every snapshot taken mid-write has to contain all stable facts
+// and parse cleanly (run under -race in CI).
+func TestConcurrentSaveWithWriters(t *testing.T) {
+	st := NewStore()
+	var stable []rdf.Triple
+	for i := 0; i < 50; i++ {
+		tr := rdf.T(fmt.Sprintf("kb:stable%d", i), "kb:rel", "kb:o")
+		st.Add(tr)
+		stable = append(stable, tr)
+	}
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				batch := []rdf.Triple{
+					rdf.T(fmt.Sprintf("kb:churn%d_%d", g, i%20), "kb:rel", "kb:x"),
+					rdf.T(fmt.Sprintf("kb:churn%d_%d", g, i%20), "kb:rel", "kb:y"),
+				}
+				ids := st.AddBatch(batch)
+				st.SetInfo(ids[0], FactInfo{Confidence: 0.5, Source: "churn ", Time: Interval{1, 2}})
+				st.Remove(batch[0])
+				st.Remove(batch[1])
+			}
+		}(g)
+	}
+	for round := 0; round < 20; round++ {
+		var buf bytes.Buffer
+		if err := st.Save(&buf); err != nil {
+			t.Fatalf("round %d: Save: %v", round, err)
+		}
+		loaded := NewStore()
+		if _, err := loaded.Load(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("round %d: snapshot does not load: %v", round, err)
+		}
+		for _, tr := range stable {
+			if !loaded.Has(tr) {
+				t.Fatalf("round %d: stable fact %v missing from snapshot", round, tr)
+			}
+		}
+	}
+	close(stop)
+	writers.Wait()
+}
+
+// SaveShards partitions the store into N loadable snapshots whose union
+// is the original store, metadata included.
+func TestSaveShardsRoundTrip(t *testing.T) {
+	st := NewStore()
+	for i := 0; i < 40; i++ {
+		id := st.Add(rdf.T(fmt.Sprintf("kb:s%d", i), "kb:rel", fmt.Sprintf("kb:o%d", i%7)))
+		if i%3 == 0 {
+			st.SetInfo(id, FactInfo{Confidence: 0.9, Source: fmt.Sprintf("src%d", i), Time: Interval{i, i + 1}})
+		}
+	}
+	const n = 4
+	bufs := make([]bytes.Buffer, n)
+	ws := make([]io.Writer, n)
+	for i := range bufs {
+		ws[i] = &bufs[i]
+	}
+	shardOf := func(t rdf.Triple) int { return len(t.S.Value) % n }
+	if err := st.SaveShards(ws, shardOf); err != nil {
+		t.Fatal(err)
+	}
+	merged := NewStore()
+	total := 0
+	for i := range bufs {
+		if !strings.HasPrefix(bufs[i].String(), "#!kbsnap 2\n") {
+			t.Errorf("shard %d missing version header", i)
+		}
+		shard := NewStore()
+		c, err := shard.Load(bytes.NewReader(bufs[i].Bytes()))
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		// Every fact in the shard belongs there per the shard function.
+		for _, tr := range shard.All() {
+			if shardOf(tr) != i {
+				t.Errorf("fact %v landed in shard %d, want %d", tr, i, shardOf(tr))
+			}
+		}
+		if _, err := merged.Load(bytes.NewReader(bufs[i].Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		total += c
+	}
+	if total != st.Len() || merged.Len() != st.Len() {
+		t.Fatalf("shards hold %d facts (merged %d), want %d", total, merged.Len(), st.Len())
+	}
+	for _, tr := range st.All() {
+		idA, _ := st.FactOf(tr)
+		idB, ok := merged.FactOf(tr)
+		if !ok {
+			t.Fatalf("fact %v lost in sharding", tr)
+		}
+		ia, _ := st.Info(idA)
+		ib, _ := merged.Info(idB)
+		if ia != ib {
+			t.Errorf("meta for %v = %+v, want %+v", tr, ib, ia)
+		}
+	}
+	// Errors: no writers, out-of-range shard.
+	if err := st.SaveShards(nil, nil); err == nil {
+		t.Error("SaveShards(nil) should fail")
+	}
+	if err := st.SaveShards(ws, func(rdf.Triple) int { return n }); err == nil {
+		t.Error("out-of-range shard function should fail")
 	}
 }
 

@@ -34,7 +34,7 @@ func All() []Experiment {
 		{"E7", "open IE constraints cut incoherent extractions", E7OpenIE},
 		{"E8", "map-reduce extraction scales with workers", E8MapReduce},
 		{"E9", "frequent sequence mining finds relation phrases", E9SequenceMining},
-		{"E10", "temporal scoping recovers fact validity intervals", E10Temporal},
+		{"E10", "temporal scoping; sharded serving scatter/gather", E10Temporal},
 		{"E11", "multilingual name alignment links editions", E11Multilingual},
 		{"E12", "commonsense rules are minable from the KB", E12RuleMining},
 		{"E13", "NED: coherence+context beat prior", E13NED},

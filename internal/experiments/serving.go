@@ -20,11 +20,13 @@ import (
 	"kbharvest/internal/synth"
 )
 
-// e9cWorkload builds the serving store and a skewed query mix over it:
-// two-pattern joins plus single-pattern lookups across the world's
-// relations, the shapes a QA front-end issues.
-func e9cWorkload() (*core.Store, [][]core.Pattern) {
-	w, _ := standardWorld(119)
+// ServingWorkload builds the serving store and a skewed query mix over
+// it: two-pattern joins plus single-pattern lookups across the world's
+// relations, the shapes a QA front-end issues. It backs E9c and E10b and
+// is exported so the kbrouter tests can cross-check scatter/gather
+// answers against the same suite on a single merged store.
+func ServingWorkload(seed int64) (*core.Store, [][]core.Pattern) {
+	w, _ := standardWorld(seed)
 	st := core.NewStore()
 	for _, f := range w.Facts {
 		st.Add(rdf.T(f.S, f.P, f.O))
@@ -52,7 +54,7 @@ func e9cWorkload() (*core.Store, [][]core.Pattern) {
 // e9cQueryServing times the query mix in the three serving regimes and
 // reports throughput plus speedup over cold for each.
 func e9cQueryServing() *eval.Table {
-	st, queries := e9cWorkload()
+	st, queries := ServingWorkload(119)
 	const reps = 200
 	ctx := context.Background()
 

@@ -1,0 +1,103 @@
+package experiments
+
+// E10b: scatter/gather sharded serving. The tutorial's web-scale theme
+// (§4) is that KBs behind online services outgrow one machine; the
+// serving tier answer is subject-hash partitioning with a router that
+// pins subject-constant lookups to one shard and scatters everything
+// else. This experiment serves the same synthetic world from 1, 2, and
+// 4 kbserve shards (real HTTP servers, in-process) and measures the two
+// regimes the design separates: point lookups, whose cost must stay at
+// exactly one RPC at any shard count, and full scatters, whose fan-out
+// grows with the tier.
+
+import (
+	"context"
+	"net/http/httptest"
+	"time"
+
+	"kbharvest/internal/core"
+	"kbharvest/internal/eval"
+	"kbharvest/internal/serve"
+	"kbharvest/internal/shardkb"
+	"kbharvest/internal/synth"
+)
+
+// e10bShardedServing partitions the serving world across n in-process
+// kbserve instances for n in {1,2,4} and drives the shardkb scatter
+// client at each width.
+func e10bShardedServing() *eval.Table {
+	merged, _ := ServingWorkload(119)
+	all := merged.All()
+
+	// Point lookups: one subject-constant pattern per distinct subject.
+	seen := map[string]bool{}
+	var points []core.Pattern
+	for _, t := range all {
+		if seen[t.S.Value] {
+			continue
+		}
+		seen[t.S.Value] = true
+		points = append(points, core.Pattern{S: core.PTerm(t.S), P: core.PVar("p"), O: core.PVar("o")})
+		if len(points) == 400 {
+			break
+		}
+	}
+	// Full scatters: subject unbound, so every shard must answer.
+	scatters := []core.Pattern{
+		{S: core.PVar("p"), P: core.PIRI(synth.RelFounded), O: core.PVar("c")},
+		{S: core.PVar("p"), P: core.PIRI(synth.RelMarriedTo), O: core.PVar("q")},
+	}
+
+	tab := eval.NewTable("E10b: sharded serving — point lookup vs full scatter",
+		"shards", "mode", "queries", "q/s", "p50-us", "p99-us", "rpc/query")
+	ctx := context.Background()
+	for _, n := range []int{1, 2, 4} {
+		stores := make([]*core.Store, n)
+		for i := range stores {
+			stores[i] = core.NewStore()
+		}
+		for _, t := range all {
+			stores[shardkb.TripleShard(t, n)].Add(t)
+		}
+		servers := make([]*httptest.Server, n)
+		urls := make([]string, n)
+		for i := range stores {
+			servers[i] = httptest.NewServer(serve.NewServer(stores[i], serve.Options{Timeout: 5 * time.Second}))
+			urls[i] = servers[i].URL
+		}
+		client, err := shardkb.New(urls, shardkb.Options{Timeout: 5 * time.Second})
+		if err != nil {
+			panic("E10b: " + err.Error())
+		}
+
+		run := func(mode string, queries []core.Pattern, reps int) {
+			before := client.Stats()
+			var lat serve.LatencyHistogram
+			t0 := time.Now()
+			count := 0
+			for r := 0; r < reps; r++ {
+				for _, q := range queries {
+					q0 := time.Now()
+					if _, err := client.Pattern(ctx, q, 0); err != nil {
+						panic("E10b: " + err.Error())
+					}
+					lat.Observe(time.Since(q0))
+					count++
+				}
+			}
+			wall := time.Since(t0)
+			after := client.Stats()
+			sum := lat.Summary()
+			tab.AddRow(n, mode, count,
+				float64(count)/wall.Seconds(), sum.P50US, sum.P99US,
+				float64(after.RPCs-before.RPCs)/float64(count))
+		}
+		run("point lookup", points, 1)
+		run("full scatter", scatters, 50)
+
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	return tab
+}

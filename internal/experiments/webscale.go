@@ -297,9 +297,12 @@ func producerWork(t rdf.Triple) uint32 {
 func e8cAsyncIngestion(triples []rdf.Triple, infos []core.FactInfo) *eval.Table {
 	var sink uint32 // defeat dead-code elimination of producerWork
 	run := func(workers int, mk func(st *core.Store) (emit func(w, i int) error, finish func() error)) (time.Duration, *core.Store) {
+		// Best of 3 to damp scheduler noise — under a loaded machine a
+		// single rep can starve the ingester goroutine and report a
+		// catastrophic-looking async slowdown that is pure measurement.
 		best := time.Duration(1 << 62)
 		var bestSt *core.Store
-		for r := 0; r < 2; r++ {
+		for r := 0; r < 3; r++ {
 			st := core.NewStore()
 			chunk := (len(triples) + workers - 1) / workers
 			t0 := time.Now()
@@ -466,7 +469,7 @@ func E10Temporal() []*eval.Table {
 		}
 		tab.AddRow(rel, total, eval.Accuracy(beginOK, total), eval.Accuracy(endOK, total))
 	}
-	return []*eval.Table{tab}
+	return []*eval.Table{tab, e10bShardedServing()}
 }
 
 func yearOf(day int) int {

@@ -112,6 +112,23 @@ func WriteAll(w io.Writer, triples []Triple) error {
 
 // ParseTriple parses a single N-Triples statement line (with or without the
 // trailing " .").
+// ParseTerm parses one term in N-Triples syntax — the format Term.String
+// produces — so serialized terms (IRIs, plain/lang-tagged/typed literals,
+// blank nodes) round-trip through a single string. Trailing content after
+// the term is an error.
+func ParseTerm(s string) (Term, error) {
+	p := &parser{in: s}
+	t, err := p.term()
+	if err != nil {
+		return Term{}, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.in) {
+		return Term{}, fmt.Errorf("trailing content %q after term", p.in[p.pos:])
+	}
+	return t, nil
+}
+
 func ParseTriple(line string) (Triple, error) {
 	p := &parser{in: line}
 	s, err := p.term()

@@ -1,0 +1,363 @@
+// Package serve implements the single-shard HTTP serving surface of the
+// knowledge base: request parsing, cache-backed conjunctive query
+// evaluation with per-request deadlines, planner estimates, readiness,
+// and operational counters. cmd/kbserve wraps it in a process; the
+// scatter/gather tier (internal/shardkb, cmd/kbrouter) talks to N of
+// these over the same wire protocol, and tests and experiments drive it
+// in-process through httptest.
+//
+// Endpoints:
+//
+//	POST /query     {"patterns": [...], "limit": N} -> QueryResponse
+//	POST /estimate  {"patterns": [...]}             -> EstimateResponse
+//	GET  /statsz    cache hit rate, latency histogram, store stats
+//	GET  /healthz   liveness probe (process up)
+//	GET  /readyz    readiness: 200 + fact count/snapshot path once the
+//	                store holds facts, 503 while empty/still loading
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"kbharvest/internal/core"
+	"kbharvest/internal/qcache"
+	"kbharvest/internal/rdf"
+)
+
+// QueryRequest is the POST /query (and /estimate) body.
+type QueryRequest struct {
+	// Patterns are "s p o" lines in kbquery syntax.
+	Patterns []string `json:"patterns"`
+	// Limit caps the number of rows (0 = all). Ignored by /estimate.
+	Limit int `json:"limit,omitempty"`
+}
+
+// QueryResponse is the POST /query reply.
+type QueryResponse struct {
+	Vars   []string            `json:"vars,omitempty"`
+	Rows   []map[string]string `json:"rows,omitempty"`
+	Count  int                 `json:"count"`
+	Ask    *bool               `json:"ask,omitempty"` // set for zero-variable queries
+	Cached bool                `json:"cached"`
+	TookUS int64               `json:"took_us"`
+	// Partial is set by the router when shards failed and -allow-partial
+	// merged the surviving results; a single shard never sets it.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// EstimateResponse is the POST /estimate reply: the planner's
+// index-cardinality upper bound for each requested pattern on this
+// shard's store (core.Store.EstimateMatches). A zero is exact — the
+// pattern cannot match here.
+type EstimateResponse struct {
+	Estimates []int `json:"estimates"`
+}
+
+// ReadyResponse is the GET /readyz reply.
+type ReadyResponse struct {
+	Facts    int    `json:"facts"`
+	Snapshot string `json:"snapshot,omitempty"`
+}
+
+// ErrorResponse is the JSON error envelope every endpoint uses.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Options tunes a Server.
+type Options struct {
+	// Cache configures the result cache (internal/qcache).
+	Cache qcache.Options
+	// Timeout bounds each query evaluation (0 = unbounded).
+	Timeout time.Duration
+	// Snapshot is the path the store was loaded from, reported by
+	// /readyz so operators and the router can tell shards apart.
+	Snapshot string
+}
+
+// LatencyHistogram counts request latencies in power-of-two microsecond
+// buckets; all counters are atomics so request handlers never serialize
+// on stats. The zero value is ready to use. cmd/kbrouter shares it for
+// its own /statsz.
+type LatencyHistogram struct {
+	buckets [32]atomic.Uint64 // bucket i: latency < 2^i µs
+	count   atomic.Uint64
+	sumUS   atomic.Uint64
+}
+
+// Observe records one request latency.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	b := 0
+	for us>>b > 0 && b < len(h.buckets)-1 {
+		b++
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(uint64(us))
+}
+
+// quantile returns an upper bound on the q-quantile latency in µs.
+func (h *LatencyHistogram) quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return uint64(1) << i
+		}
+	}
+	return uint64(1) << (len(h.buckets) - 1)
+}
+
+// Summary snapshots the histogram into the /statsz latency block.
+func (h *LatencyHistogram) Summary() LatencyStats {
+	lat := LatencyStats{
+		Count: h.count.Load(),
+		P50US: h.quantile(0.50),
+		P90US: h.quantile(0.90),
+		P99US: h.quantile(0.99),
+	}
+	if lat.Count > 0 {
+		lat.MeanUS = float64(h.sumUS.Load()) / float64(lat.Count)
+	}
+	return lat
+}
+
+// Server is the HTTP handler serving one store.
+type Server struct {
+	st       *core.Store
+	cache    *qcache.Cache
+	timeout  time.Duration
+	snapshot string
+	mux      *http.ServeMux
+	lat      LatencyHistogram
+}
+
+// NewServer wires the handler for one store.
+func NewServer(st *core.Store, opt Options) *Server {
+	s := &Server{
+		st:       st,
+		cache:    qcache.New(st, opt.Cache),
+		timeout:  opt.Timeout,
+		snapshot: opt.Snapshot,
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/estimate", s.handleEstimate)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// WriteJSON writes v as a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// DecodePatterns parses the shared request envelope of /query and
+// /estimate — also the router's, which speaks the same protocol. A nil
+// return means the error response was already written.
+func DecodePatterns(w http.ResponseWriter, r *http.Request) (*QueryRequest, []core.Pattern) {
+	if r.Method != http.MethodPost {
+		WriteJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"POST a JSON body"})
+		return nil, nil
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{"bad request body: " + err.Error()})
+		return nil, nil
+	}
+	if len(req.Patterns) == 0 {
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{"no patterns"})
+		return nil, nil
+	}
+	patterns := make([]core.Pattern, 0, len(req.Patterns))
+	for _, line := range req.Patterns {
+		p, err := core.ParsePattern(line)
+		if err != nil {
+			WriteJSON(w, http.StatusBadRequest, ErrorResponse{err.Error()})
+			return nil, nil
+		}
+		patterns = append(patterns, p)
+	}
+	return &req, patterns
+}
+
+// HasVars reports whether any pattern position is a variable — false
+// means the conjunction is ASK-style.
+func HasVars(patterns []core.Pattern) bool {
+	for _, p := range patterns {
+		if p.S.Var != "" || p.P.Var != "" || p.O.Var != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteQueryError maps an evaluation error onto the HTTP status the
+// protocol uses: 504 for deadline, 499 for client cancellation, 500
+// otherwise.
+func WriteQueryError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, context.DeadlineExceeded) {
+		status = http.StatusGatewayTimeout
+	} else if errors.Is(err, context.Canceled) {
+		status = 499 // client closed request
+	}
+	WriteJSON(w, status, ErrorResponse{err.Error()})
+}
+
+// BuildQueryResponse renders bindings into the wire shape: sorted vars
+// and serialized rows for a query with variables, an ask flag for an
+// all-constant conjunction. The caller fills Cached/TookUS/Partial.
+func BuildQueryResponse(bindings []core.Binding, hasVar bool) QueryResponse {
+	resp := QueryResponse{Count: len(bindings)}
+	if !hasVar {
+		// ASK-style: an all-constant conjunction either holds or not.
+		ask := len(bindings) > 0
+		resp.Ask = &ask
+		resp.Count = 0
+		return resp
+	}
+	if len(bindings) > 0 {
+		var vars []core.Var
+		for v := range bindings[0] {
+			vars = append(vars, v)
+		}
+		sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+		resp.Vars = make([]string, len(vars))
+		for i, v := range vars {
+			resp.Vars[i] = string(v)
+		}
+		resp.Rows = make([]map[string]string, len(bindings))
+		for i, b := range bindings {
+			row := make(map[string]string, len(vars))
+			for _, v := range vars {
+				row[string(v)] = b[v].String()
+			}
+			resp.Rows[i] = row
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, patterns := DecodePatterns(w, r)
+	if req == nil {
+		return
+	}
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	t0 := time.Now()
+	bindings, cached, err := s.cache.Query(ctx, patterns, req.Limit)
+	took := time.Since(t0)
+	s.lat.Observe(took)
+	if err != nil {
+		WriteQueryError(w, err)
+		return
+	}
+	resp := BuildQueryResponse(bindings, HasVars(patterns))
+	resp.Cached = cached
+	resp.TookUS = took.Microseconds()
+	WriteJSON(w, http.StatusOK, resp)
+}
+
+// handleEstimate serves the router's planning probe: per-pattern
+// index-cardinality upper bounds, with unbound variables as wildcards.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	req, patterns := DecodePatterns(w, r)
+	if req == nil {
+		return
+	}
+	ests := make([]int, len(patterns))
+	for i, p := range patterns {
+		ests[i] = s.st.EstimateMatches(patternSkeleton(p))
+	}
+	WriteJSON(w, http.StatusOK, EstimateResponse{Estimates: ests})
+}
+
+// patternSkeleton maps a pattern onto the triple EstimateMatches expects:
+// constants stay, variables become zero-term wildcards.
+func patternSkeleton(p core.Pattern) rdf.Triple {
+	var t rdf.Triple
+	if p.S.Var == "" {
+		t.S = p.S.Const
+	}
+	if p.P.Var == "" {
+		t.P = p.P.Const
+	}
+	if p.O.Var == "" {
+		t.O = p.O.Const
+	}
+	return t
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyResponse{Facts: s.st.Len(), Snapshot: s.snapshot}
+	if resp.Facts == 0 {
+		// An empty store means the shard is still loading (or was pointed
+		// at the wrong snapshot); the router must not route here.
+		WriteJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	WriteJSON(w, http.StatusOK, resp)
+}
+
+// StatszResponse is the GET /statsz reply.
+type StatszResponse struct {
+	Cache   CacheStats   `json:"cache"`
+	Latency LatencyStats `json:"latency"`
+	Store   core.Stats   `json:"store"`
+}
+
+// CacheStats augments the raw qcache counters with the derived hit rate.
+type CacheStats struct {
+	qcache.Stats
+	HitRate float64 `json:"hit_rate"`
+}
+
+// LatencyStats summarizes the query latency histogram.
+type LatencyStats struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  uint64  `json:"p50_us"`
+	P90US  uint64  `json:"p90_us"`
+	P99US  uint64  `json:"p99_us"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	WriteJSON(w, http.StatusOK, StatszResponse{
+		Cache:   CacheStats{Stats: cs, HitRate: cs.HitRate()},
+		Latency: s.lat.Summary(),
+		Store:   s.st.Stats(),
+	})
+}

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"kbharvest/internal/core"
-	"kbharvest/internal/qcache"
 	"kbharvest/internal/rdf"
 )
 
@@ -25,12 +24,22 @@ func testStore() *core.Store {
 	return st
 }
 
-func postQuery(t *testing.T, srv http.Handler, body string) (*httptest.ResponseRecorder, queryResponse) {
+func newTestServer(st *core.Store, timeout time.Duration) *Server {
+	return NewServer(st, Options{Timeout: timeout})
+}
+
+func postJSON(t *testing.T, srv http.Handler, path, body string) *httptest.ResponseRecorder {
 	t.Helper()
-	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, req)
-	var resp queryResponse
+	return rec
+}
+
+func postQuery(t *testing.T, srv http.Handler, body string) (*httptest.ResponseRecorder, QueryResponse) {
+	t.Helper()
+	rec := postJSON(t, srv, "/query", body)
+	var resp QueryResponse
 	if rec.Code == http.StatusOK {
 		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 			t.Fatalf("bad response %q: %v", rec.Body.String(), err)
@@ -40,7 +49,7 @@ func postQuery(t *testing.T, srv http.Handler, body string) (*httptest.ResponseR
 }
 
 func TestServerQueryJoin(t *testing.T) {
-	srv := newServer(testStore(), qcache.Options{}, time.Second)
+	srv := newTestServer(testStore(), time.Second)
 	rec, resp := postQuery(t, srv, `{"patterns": ["?p kb:founded ?c", "?c kb:locatedIn ?city"]}`)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
@@ -65,7 +74,7 @@ func TestServerQueryJoin(t *testing.T) {
 }
 
 func TestServerQueryLimit(t *testing.T) {
-	srv := newServer(testStore(), qcache.Options{}, time.Second)
+	srv := newTestServer(testStore(), time.Second)
 	rec, resp := postQuery(t, srv, `{"patterns": ["?p kb:founded ?c"], "limit": 2}`)
 	if rec.Code != http.StatusOK || resp.Count != 2 {
 		t.Errorf("status %d count %d, want 2 rows", rec.Code, resp.Count)
@@ -73,7 +82,7 @@ func TestServerQueryLimit(t *testing.T) {
 }
 
 func TestServerAskQuery(t *testing.T) {
-	srv := newServer(testStore(), qcache.Options{}, time.Second)
+	srv := newTestServer(testStore(), time.Second)
 	rec, resp := postQuery(t, srv, `{"patterns": ["kb:jobs kb:founded kb:apple"]}`)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
@@ -91,7 +100,7 @@ func TestServerAskQuery(t *testing.T) {
 }
 
 func TestServerBadRequests(t *testing.T) {
-	srv := newServer(testStore(), qcache.Options{}, time.Second)
+	srv := newTestServer(testStore(), time.Second)
 	cases := []struct {
 		body string
 		want int
@@ -118,15 +127,69 @@ func TestServerBadRequests(t *testing.T) {
 func TestServerTimeout(t *testing.T) {
 	// A deadline in the past forces the evaluation's first context check
 	// to fail, exercising the 504 path.
-	srv := newServer(testStore(), qcache.Options{}, time.Nanosecond)
+	srv := newTestServer(testStore(), time.Nanosecond)
 	rec, _ := postQuery(t, srv, `{"patterns": ["?p kb:founded ?c"]}`)
 	if rec.Code != http.StatusGatewayTimeout {
 		t.Errorf("status = %d, want 504: %s", rec.Code, rec.Body.String())
 	}
 }
 
+func TestServerEstimate(t *testing.T) {
+	srv := newTestServer(testStore(), time.Second)
+	rec := postJSON(t, srv, "/estimate",
+		`{"patterns": ["?p kb:founded ?c", "kb:apple kb:locatedIn ?city", "?p kb:never ?x"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("estimate status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp EstimateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Estimates) != 3 {
+		t.Fatalf("estimates = %v, want 3 entries", resp.Estimates)
+	}
+	// Estimates are upper bounds: founded has 3 matches, the apple lookup
+	// one, and a never-seen predicate is exactly zero.
+	if resp.Estimates[0] < 3 {
+		t.Errorf("founded estimate = %d, want >= 3", resp.Estimates[0])
+	}
+	if resp.Estimates[1] < 1 {
+		t.Errorf("apple estimate = %d, want >= 1", resp.Estimates[1])
+	}
+	if resp.Estimates[2] != 0 {
+		t.Errorf("unknown-predicate estimate = %d, want 0", resp.Estimates[2])
+	}
+	// Bad request envelope is shared with /query.
+	if rec := postJSON(t, srv, "/estimate", `{"patterns": []}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty estimate status = %d", rec.Code)
+	}
+}
+
+func TestServerReadyz(t *testing.T) {
+	srv := NewServer(testStore(), Options{Snapshot: "kb.0.nt"})
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("readyz status %d", rec.Code)
+	}
+	var resp ReadyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Facts != 5 || resp.Snapshot != "kb.0.nt" {
+		t.Errorf("readyz = %+v", resp)
+	}
+	// An empty store is not ready: the router must skip it.
+	empty := NewServer(core.NewStore(), Options{})
+	rec = httptest.NewRecorder()
+	empty.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("empty readyz status = %d, want 503", rec.Code)
+	}
+}
+
 func TestServerStatsz(t *testing.T) {
-	srv := newServer(testStore(), qcache.Options{}, time.Second)
+	srv := newTestServer(testStore(), time.Second)
 	postQuery(t, srv, `{"patterns": ["?p kb:founded ?c"]}`)
 	postQuery(t, srv, `{"patterns": ["?p kb:founded ?c"]}`)
 	rec := httptest.NewRecorder()
@@ -134,7 +197,7 @@ func TestServerStatsz(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("statsz status %d", rec.Code)
 	}
-	var stats statszResponse
+	var stats StatszResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
 		t.Fatalf("statsz body %q: %v", rec.Body.String(), err)
 	}
@@ -153,7 +216,7 @@ func TestServerStatsz(t *testing.T) {
 }
 
 func TestServerHealthz(t *testing.T) {
-	srv := newServer(testStore(), qcache.Options{}, time.Second)
+	srv := newTestServer(testStore(), time.Second)
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusOK {
@@ -166,7 +229,7 @@ func TestServerHealthz(t *testing.T) {
 // (3 stable join rows plus at most one transient chain).
 func TestServerConcurrentQueriesWithWriter(t *testing.T) {
 	st := testStore()
-	srv := newServer(st, qcache.Options{Shards: 4}, time.Second)
+	srv := NewServer(st, Options{Timeout: time.Second})
 	stop := make(chan struct{})
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -200,7 +263,7 @@ func TestServerConcurrentQueriesWithWriter(t *testing.T) {
 					errs <- fmt.Errorf("status %d: %s", rec.Code, rec.Body.String())
 					return
 				}
-				var resp queryResponse
+				var resp QueryResponse
 				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 					errs <- err
 					return

@@ -1,0 +1,395 @@
+package shardkb
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kbharvest/internal/core"
+	"kbharvest/internal/rdf"
+	"kbharvest/internal/serve"
+)
+
+// ErrPartial marks a query that could not be answered by every shard it
+// needed. It is the default outcome of a scatter with a failed shard;
+// Options.AllowPartial degrades it to merged available results with
+// Result.Partial set instead.
+var ErrPartial = errors.New("shardkb: partial shard results")
+
+// Options tunes a Client.
+type Options struct {
+	// Timeout bounds each shard RPC (default 2s).
+	Timeout time.Duration
+	// MaxInFlight bounds concurrent shard RPCs across all in-progress
+	// scatters (default 2x the shard count, minimum 4).
+	MaxInFlight int
+	// AllowPartial merges available results when shards fail instead of
+	// failing the query with ErrPartial.
+	AllowPartial bool
+	// HTTPClient overrides the transport (default http.DefaultClient
+	// semantics with no client-level timeout; per-RPC contexts bound it).
+	HTTPClient *http.Client
+}
+
+// Result is the outcome of one pattern execution.
+type Result struct {
+	// Bindings are the merged rows, in shard order.
+	Bindings []core.Binding
+	// Partial reports that some shards failed and AllowPartial merged
+	// the rest — the result may be missing matches.
+	Partial bool
+	// RPCs is the number of shard requests this execution issued: 1 on
+	// the fast path, the shard count on a scatter.
+	RPCs int
+}
+
+// shardCounters are the per-shard atomics behind Stats.
+type shardCounters struct {
+	rpcs  atomic.Uint64
+	errs  atomic.Uint64
+	sumUS atomic.Uint64
+}
+
+// ShardStats is one shard's view in Stats.
+type ShardStats struct {
+	URL    string  `json:"url"`
+	RPCs   uint64  `json:"rpcs"`
+	Errors uint64  `json:"errors"`
+	MeanUS float64 `json:"mean_us"`
+}
+
+// Stats is a point-in-time snapshot of the client's counters.
+type Stats struct {
+	FastPath        uint64       `json:"fast_path"` // subject-pinned single-RPC executions
+	Scatters        uint64       `json:"scatters"`  // full fan-out executions
+	RPCs            uint64       `json:"rpcs"`      // total shard RPCs issued
+	PartialFailures uint64       `json:"partial_failures"`
+	Shards          []ShardStats `json:"shards"`
+}
+
+// FastPathRate returns the fraction of pattern executions that were
+// pinned to a single shard, 0 when idle.
+func (s Stats) FastPathRate() float64 {
+	if t := s.FastPath + s.Scatters; t > 0 {
+		return float64(s.FastPath) / float64(t)
+	}
+	return 0
+}
+
+// Client executes single triple patterns against N kbserve shards.
+type Client struct {
+	urls         []string
+	hc           *http.Client
+	timeout      time.Duration
+	allowPartial bool
+	sem          chan struct{}
+
+	fastPath        atomic.Uint64
+	scatters        atomic.Uint64
+	rpcs            atomic.Uint64
+	partialFailures atomic.Uint64
+	shards          []shardCounters
+}
+
+// New builds a client over the given kbserve base URLs (shard i serves
+// the facts TripleShard assigns to i — the order must match the builder's
+// partitioning).
+func New(shardURLs []string, opt Options) (*Client, error) {
+	if len(shardURLs) == 0 {
+		return nil, errors.New("shardkb: no shard URLs")
+	}
+	urls := make([]string, len(shardURLs))
+	for i, u := range shardURLs {
+		urls[i] = strings.TrimRight(u, "/")
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 2 * time.Second
+	}
+	if opt.MaxInFlight <= 0 {
+		opt.MaxInFlight = 2 * len(urls)
+		if opt.MaxInFlight < 4 {
+			opt.MaxInFlight = 4
+		}
+	}
+	hc := opt.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{
+		urls:         urls,
+		hc:           hc,
+		timeout:      opt.Timeout,
+		allowPartial: opt.AllowPartial,
+		sem:          make(chan struct{}, opt.MaxInFlight),
+		shards:       make([]shardCounters, len(urls)),
+	}, nil
+}
+
+// NumShards returns the shard count.
+func (c *Client) NumShards() int { return len(c.urls) }
+
+// AllowsPartial reports the configured partial-failure policy.
+func (c *Client) AllowsPartial() bool { return c.allowPartial }
+
+// Stats snapshots the client counters.
+func (c *Client) Stats() Stats {
+	s := Stats{
+		FastPath:        c.fastPath.Load(),
+		Scatters:        c.scatters.Load(),
+		RPCs:            c.rpcs.Load(),
+		PartialFailures: c.partialFailures.Load(),
+		Shards:          make([]ShardStats, len(c.urls)),
+	}
+	for i := range c.shards {
+		sc := &c.shards[i]
+		ss := ShardStats{URL: c.urls[i], RPCs: sc.rpcs.Load(), Errors: sc.errs.Load()}
+		if ss.RPCs > 0 {
+			ss.MeanUS = float64(sc.sumUS.Load()) / float64(ss.RPCs)
+		}
+		s.Shards[i] = ss
+	}
+	return s
+}
+
+// post issues one JSON RPC to a shard under the in-flight bound and the
+// per-shard timeout, decoding the reply into out.
+func (c *Client) post(ctx context.Context, shard int, path string, req, out interface{}) error {
+	select {
+	case c.sem <- struct{}{}:
+		defer func() { <-c.sem }()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	rctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("shardkb: encode request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, c.urls[shard]+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+
+	c.rpcs.Add(1)
+	sc := &c.shards[shard]
+	sc.rpcs.Add(1)
+	t0 := time.Now()
+	resp, err := c.hc.Do(hreq)
+	sc.sumUS.Add(uint64(time.Since(t0).Microseconds()))
+	if err != nil {
+		sc.errs.Add(1)
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		sc.errs.Add(1)
+		var e serve.ErrorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("shardkb: shard %d: status %d: %s", shard, resp.StatusCode, e.Error)
+		}
+		return fmt.Errorf("shardkb: shard %d: status %d", shard, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		sc.errs.Add(1)
+		return fmt.Errorf("shardkb: shard %d: decode response: %w", shard, err)
+	}
+	return nil
+}
+
+// decodeBindings converts a wire response into bindings: rows parse each
+// serialized term back (rdf.ParseTerm), ASK replies become the empty
+// binding (true) or nothing (false) so they compose with join logic.
+func decodeBindings(resp *serve.QueryResponse) ([]core.Binding, error) {
+	if resp.Ask != nil {
+		if *resp.Ask {
+			return []core.Binding{{}}, nil
+		}
+		return nil, nil
+	}
+	out := make([]core.Binding, 0, len(resp.Rows))
+	for _, row := range resp.Rows {
+		b := make(core.Binding, len(row))
+		for v, s := range row {
+			t, err := rdf.ParseTerm(s)
+			if err != nil {
+				return nil, fmt.Errorf("shardkb: bad term %q in shard reply: %w", s, err)
+			}
+			b[core.Var(v)] = t
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Pattern executes one triple pattern across the shard tier. A
+// subject-constant pattern is routed to exactly one shard — the fast
+// path; anything else scatters to every shard concurrently and gathers
+// the merged bindings. limit caps the merged row count (0 = all).
+func (c *Client) Pattern(ctx context.Context, p core.Pattern, limit int) (*Result, error) {
+	req := serve.QueryRequest{Patterns: []string{FormatPattern(p)}, Limit: limit}
+	if shard, ok := PatternShard(p, len(c.urls)); ok {
+		c.fastPath.Add(1)
+		var resp serve.QueryResponse
+		if err := c.post(ctx, shard, "/query", req, &resp); err != nil {
+			c.partialFailures.Add(1)
+			if c.allowPartial {
+				return &Result{Partial: true, RPCs: 1}, nil
+			}
+			return nil, fmt.Errorf("%w: shard %d (%s): %v", ErrPartial, shard, c.urls[shard], err)
+		}
+		bs, err := decodeBindings(&resp)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Bindings: bs, RPCs: 1}, nil
+	}
+
+	c.scatters.Add(1)
+	type shardReply struct {
+		bs  []core.Binding
+		err error
+	}
+	replies := make([]shardReply, len(c.urls))
+	var wg sync.WaitGroup
+	for i := range c.urls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp serve.QueryResponse
+			if err := c.post(ctx, i, "/query", req, &resp); err != nil {
+				replies[i].err = err
+				return
+			}
+			replies[i].bs, replies[i].err = decodeBindings(&resp)
+		}(i)
+	}
+	wg.Wait()
+	res := &Result{RPCs: len(c.urls)}
+	var failed []string
+	for i, r := range replies {
+		if r.err != nil {
+			failed = append(failed, fmt.Sprintf("shard %d (%s): %v", i, c.urls[i], r.err))
+			continue
+		}
+		res.Bindings = append(res.Bindings, r.bs...)
+	}
+	if len(failed) > 0 {
+		c.partialFailures.Add(1)
+		if !c.allowPartial {
+			return nil, fmt.Errorf("%w: %s", ErrPartial, strings.Join(failed, "; "))
+		}
+		res.Partial = true
+	}
+	if limit > 0 && len(res.Bindings) > limit {
+		res.Bindings = res.Bindings[:limit]
+	}
+	return res, nil
+}
+
+// Estimates returns, for each pattern, the sum of per-shard planner
+// estimates — the scatter-aware analogue of core.Store.EstimateMatches
+// the router orders joins by. Shard failures follow the partial policy:
+// by default the call fails; with AllowPartial the failed shard's
+// contribution is simply missing (estimates stay upper bounds of the
+// reachable data).
+func (c *Client) Estimates(ctx context.Context, patterns []core.Pattern) ([]int, error) {
+	lines := make([]string, len(patterns))
+	for i, p := range patterns {
+		lines[i] = FormatPattern(p)
+	}
+	req := serve.QueryRequest{Patterns: lines}
+	replies := make([]*serve.EstimateResponse, len(c.urls))
+	errs := make([]error, len(c.urls))
+	var wg sync.WaitGroup
+	for i := range c.urls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp serve.EstimateResponse
+			if err := c.post(ctx, i, "/estimate", req, &resp); err != nil {
+				errs[i] = err
+				return
+			}
+			replies[i] = &resp
+		}(i)
+	}
+	wg.Wait()
+	sums := make([]int, len(patterns))
+	var failed []string
+	for i := range c.urls {
+		if errs[i] != nil {
+			failed = append(failed, fmt.Sprintf("shard %d (%s): %v", i, c.urls[i], errs[i]))
+			continue
+		}
+		if len(replies[i].Estimates) != len(patterns) {
+			return nil, fmt.Errorf("shardkb: shard %d returned %d estimates for %d patterns",
+				i, len(replies[i].Estimates), len(patterns))
+		}
+		for j, e := range replies[i].Estimates {
+			sums[j] += e
+		}
+	}
+	if len(failed) > 0 && !c.allowPartial {
+		return nil, fmt.Errorf("%w: %s", ErrPartial, strings.Join(failed, "; "))
+	}
+	return sums, nil
+}
+
+// Ready health-checks every shard's /readyz. It returns per-shard
+// readiness (nil entries for unreachable or not-ready shards) and an
+// error naming every shard that is not ready to serve.
+func (c *Client) Ready(ctx context.Context) ([]*serve.ReadyResponse, error) {
+	replies := make([]*serve.ReadyResponse, len(c.urls))
+	errs := make([]error, len(c.urls))
+	var wg sync.WaitGroup
+	for i := range c.urls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rctx, cancel := context.WithTimeout(ctx, c.timeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(rctx, http.MethodGet, c.urls[i]+"/readyz", nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp, err := c.hc.Do(req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			var rr serve.ReadyResponse
+			if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&rr); err != nil {
+				errs[i] = fmt.Errorf("decode /readyz: %w", err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("not ready (status %d, %d facts)", resp.StatusCode, rr.Facts)
+				return
+			}
+			replies[i] = &rr
+		}(i)
+	}
+	wg.Wait()
+	var failed []string
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Sprintf("shard %d (%s): %v", i, c.urls[i], err))
+		}
+	}
+	if len(failed) > 0 {
+		return replies, fmt.Errorf("shardkb: %s", strings.Join(failed, "; "))
+	}
+	return replies, nil
+}
