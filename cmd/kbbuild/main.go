@@ -19,7 +19,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -52,26 +51,12 @@ func shardPaths(out string, n int) []string {
 }
 
 // writeShards saves the store hash-partitioned across the given paths
-// using the shared subject-hash shard function.
+// using the shared subject-hash shard function. Writes are crash-safe:
+// each shard goes to a synced temp file atomically renamed into place,
+// so an interrupted build leaves the previous snapshot intact.
 func writeShards(st *core.Store, paths []string) error {
-	ws := make([]io.Writer, len(paths))
-	files := make([]*os.File, len(paths))
-	for i, p := range paths {
-		f, err := os.Create(p)
-		if err != nil {
-			return err
-		}
-		files[i] = f
-		ws[i] = f
-	}
 	n := len(paths)
-	err := st.SaveShards(ws, func(t rdf.Triple) int { return shardkb.TripleShard(t, n) })
-	for _, f := range files {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}
-	return err
+	return st.SaveShardFiles(paths, func(t rdf.Triple) int { return shardkb.TripleShard(t, n) })
 }
 
 // checkShards reloads every partition and verifies (a) the per-shard

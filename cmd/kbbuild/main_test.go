@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kbharvest/internal/core"
+	"kbharvest/internal/rdf"
+)
+
+func TestShardPaths(t *testing.T) {
+	got := shardPaths("kb.nt", 3)
+	want := []string{"kb.0.nt", "kb.1.nt", "kb.2.nt"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("shardPaths[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if p := shardPaths("kb.nt", 1); len(p) != 1 || p[0] != "kb.nt" {
+		t.Errorf("shardPaths(1) = %v, want [kb.nt]", p)
+	}
+}
+
+// writeShards + checkShards round-trip, and -check turns corruption —
+// a truncated shard, a flipped bit — into a hard error instead of a
+// silently short KB.
+func TestCheckShardsDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st := core.NewStore()
+	for i := 0; i < 40; i++ {
+		st.Add(rdf.T(fmt.Sprintf("kb:e%d", i), "kb:rel", fmt.Sprintf("kb:v%d", i)))
+	}
+	paths := shardPaths(filepath.Join(dir, "kb.nt"), 2)
+	if err := writeShards(st, paths); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkShards(paths, st.Len()); err != nil {
+		t.Fatalf("clean check failed: %v", err)
+	}
+
+	// Truncation: chop the tail (trailer and some facts) off shard 0.
+	orig, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(paths[0], orig[:len(orig)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkShards(paths, st.Len()); err == nil {
+		t.Error("check passed on truncated shard, want integrity error")
+	}
+	if err := os.WriteFile(paths[0], orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit flip: corrupt one content byte in shard 1 without changing size.
+	flipped, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.IndexByte(flipped, 'e') // inside some "kb:eN" subject
+	if i < 0 {
+		t.Fatal("no byte to flip")
+	}
+	flipped[i] ^= 0x01
+	if err := os.WriteFile(paths[1], flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkShards(paths, st.Len()); err == nil {
+		t.Error("check passed on bit-flipped shard, want integrity error")
+	}
+}

@@ -13,22 +13,32 @@
 // shard function in internal/shardkb:
 //
 //	kbbuild -shards N -out kb.nt     # writes kb.0.nt … kb.N-1.nt
-//	kbserve -kb kb.i.nt -addr :808i  # one process per partition
-//	kbrouter -shards http://host0:8080,…,http://hostN-1:8080
+//	kbserve -kb kb.i.nt -addr :808i  # one or more processes per partition
+//	kbrouter -shards http://h0a:8080|http://h0b:8080,http://h1:8080
 //
 // Shard order on the kbrouter command line must match the partition
 // indexes kbbuild wrote: shard i of the router is queried for exactly
-// the subjects that hash to partition i. Adding capacity means
-// re-partitioning with a new N and rolling the tier; kbserve drains
-// gracefully on SIGTERM so a rolling restart behind the router never
-// drops in-flight queries, and the router's /readyz refuses traffic
-// until every shard reports a loaded snapshot.
+// the subjects that hash to partition i. Each comma-separated shard may
+// list several replicas joined with "|" — kbserve processes loaded from
+// the same kb.i.nt — and the router rides out replica faults: transient
+// failures (connection errors, 5xx, timeouts) retry on another replica
+// with jittered exponential backoff, -hedge/-hedge-percentile race a
+// second replica against a slow first attempt, and a per-replica
+// circuit breaker (-breaker-threshold, -breaker-cooldown) sheds traffic
+// from a dead replica until its /readyz probe recovers. Adding capacity
+// means re-partitioning with a new N and rolling the tier; kbserve
+// drains gracefully on SIGTERM so a rolling restart behind the router
+// never drops in-flight queries, and the router's /readyz refuses
+// traffic until every shard has a ready replica.
 //
 // Usage:
 //
-//	kbrouter -shards http://h0:8080,http://h1:8080 [-addr :8090]
-//	         [-timeout 5s] [-shard-timeout 2s] [-max-inflight 16]
-//	         [-allow-partial]
+//	kbrouter -shards 'http://h0a:8080|http://h0b:8080,http://h1:8080'
+//	         [-addr :8090] [-timeout 5s] [-shard-timeout 2s]
+//	         [-max-inflight 16] [-allow-partial]
+//	         [-retries 3] [-retry-base 20ms] [-retry-max 250ms]
+//	         [-hedge 30ms | -hedge-percentile 0.99]
+//	         [-breaker-threshold 5] [-breaker-cooldown 1s]
 //
 // Endpoints:
 //
@@ -59,31 +69,71 @@ import (
 	"kbharvest/internal/shardkb"
 )
 
+// parseShards splits the -shards flag into replica groups: shards are
+// comma-separated in partition order, replicas of one shard joined
+// with "|". Every shard must name at least one replica URL.
+func parseShards(s string) ([][]string, error) {
+	var groups [][]string
+	for _, shard := range strings.Split(s, ",") {
+		if strings.TrimSpace(shard) == "" {
+			continue
+		}
+		var replicas []string
+		for _, u := range strings.Split(shard, "|") {
+			if u = strings.TrimSpace(u); u != "" {
+				replicas = append(replicas, u)
+			}
+		}
+		if len(replicas) == 0 {
+			return nil, fmt.Errorf("shard %d has no replica URLs", len(groups))
+		}
+		groups = append(groups, replicas)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("-shards names no shards")
+	}
+	return groups, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("kbrouter: ")
-	shards := flag.String("shards", "", "comma-separated kbserve base URLs, in partition order (required)")
+	shards := flag.String("shards", "", "comma-separated shards in partition order; replicas of one shard joined with | (required)")
 	addr := flag.String("addr", ":8090", "listen address")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request query timeout")
-	shardTimeout := flag.Duration("shard-timeout", 2*time.Second, "per-shard RPC timeout")
+	shardTimeout := flag.Duration("shard-timeout", 2*time.Second, "per-replica RPC attempt timeout")
 	maxInflight := flag.Int("max-inflight", 0, "bound on concurrent shard RPCs (0 = 2x shard count)")
 	allowPartial := flag.Bool("allow-partial", false, "merge available results when shards fail instead of failing the query")
+	retries := flag.Int("retries", 0, "max physical attempts per shard RPC, first try included (0 = 2x replicas, clamped to [2,4])")
+	retryBase := flag.Duration("retry-base", 20*time.Millisecond, "first retry backoff (exponential with jitter)")
+	retryMax := flag.Duration("retry-max", 250*time.Millisecond, "retry backoff cap")
+	hedge := flag.Duration("hedge", 0, "fixed hedge delay: fire a second replica attempt if the first has not replied (0 = off)")
+	hedgePct := flag.Float64("hedge-percentile", 0, "derive the hedge delay from this observed latency quantile, e.g. 0.99 (0 = off)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures before a replica's circuit breaker opens (negative = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", time.Second, "how long an open breaker waits before a half-open /readyz probe")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
+	drainNotice := flag.Duration("drain-notice", 500*time.Millisecond, "how long /readyz advertises draining before the listener closes")
 	flag.Parse()
 	if *shards == "" {
-		fmt.Fprintln(os.Stderr, "usage: kbrouter -shards http://h0:8080,http://h1:8080 [-addr :8090]")
+		fmt.Fprintln(os.Stderr, "usage: kbrouter -shards http://h0a:8080|http://h0b:8080,http://h1:8080 [-addr :8090]")
 		os.Exit(2)
 	}
-	var urls []string
-	for _, u := range strings.Split(*shards, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			urls = append(urls, u)
-		}
+	groups, err := parseShards(*shards)
+	if err != nil {
+		log.Fatal(err)
 	}
-	client, err := shardkb.New(urls, shardkb.Options{
-		Timeout:      *shardTimeout,
-		MaxInFlight:  *maxInflight,
-		AllowPartial: *allowPartial,
+	client, err := shardkb.New(nil, shardkb.Options{
+		Shards:           groups,
+		Timeout:          *shardTimeout,
+		MaxInFlight:      *maxInflight,
+		AllowPartial:     *allowPartial,
+		MaxAttempts:      *retries,
+		RetryBase:        *retryBase,
+		RetryMax:         *retryMax,
+		HedgeDelay:       *hedge,
+		HedgePercentile:  *hedgePct,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -99,7 +149,7 @@ func main() {
 		for _, r := range replies {
 			facts += r.Facts
 		}
-		log.Printf("%d shards ready, %d facts total", len(urls), facts)
+		log.Printf("%d shards ready, %d facts total", len(groups), facts)
 	}
 	cancel()
 
@@ -116,7 +166,7 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("routing %d shards on %s", len(urls), *addr)
+		log.Printf("routing %d shards on %s", len(groups), *addr)
 		errc <- hs.ListenAndServe()
 	}()
 	select {
@@ -125,7 +175,13 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("signal received, draining for up to %v", *drain)
+	// Advertise draining on /readyz before the listener closes, so a
+	// fronting load balancer stops routing here without racing Shutdown.
+	rt.SetDraining(true)
+	log.Printf("signal received, draining for up to %v (notice %v)", *drain, *drainNotice)
+	if *drainNotice > 0 {
+		time.Sleep(*drainNotice)
+	}
 	sctx, scancel := context.WithTimeout(context.Background(), *drain)
 	defer scancel()
 	if err := hs.Shutdown(sctx); err != nil {

@@ -28,7 +28,13 @@ type router struct {
 	lat            serve.LatencyHistogram
 	queries        atomic.Uint64
 	partialAnswers atomic.Uint64
+	draining       atomic.Bool
 }
+
+// SetDraining flips the router in or out of drain mode: while draining,
+// /readyz answers 503 so a fronting load balancer stops routing here
+// before the listener closes. In-flight queries still complete.
+func (rt *router) SetDraining(v bool) { rt.draining.Store(v) }
 
 func newRouter(client *shardkb.Client, timeout time.Duration) *router {
 	rt := &router{
@@ -207,6 +213,11 @@ type routerReady struct {
 // each shard answers /readyz with a loaded store, so a fronting load
 // balancer never routes to a tier with an empty or still-loading shard.
 func (rt *router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		serve.WriteJSON(w, http.StatusServiceUnavailable,
+			routerReady{Shards: rt.client.NumShards(), Error: "draining"})
+		return
+	}
 	replies, err := rt.client.Ready(r.Context())
 	resp := routerReady{Shards: rt.client.NumShards()}
 	for _, rr := range replies {

@@ -21,11 +21,15 @@
 //	POST /estimate {"patterns": [...]} -> per-pattern index-cardinality bounds
 //	GET  /statsz   cache hit rate, query latency histogram, store stats
 //	GET  /healthz  liveness probe
-//	GET  /readyz   readiness: fact count + snapshot path, 503 while empty
+//	GET  /readyz   readiness: fact count + snapshot path; 503 while empty,
+//	               while the snapshot failed CRC verification, or while
+//	               draining for shutdown
 //
-// On SIGINT/SIGTERM the server stops accepting connections and drains
-// in-flight requests for up to -drain before exiting, so a rolling
-// restart behind kbrouter never kills queries mid-flight.
+// On SIGINT/SIGTERM the server first flips /readyz to 503 ("draining")
+// for -drain-notice so routers stop sending work, then stops accepting
+// connections and drains in-flight requests for up to -drain before
+// exiting, so a rolling restart behind kbrouter never kills queries
+// mid-flight.
 package main
 
 import (
@@ -52,6 +56,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-request query timeout")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
+	drainNotice := flag.Duration("drain-notice", 500*time.Millisecond, "how long /readyz advertises draining before the listener closes")
 	cacheShards := flag.Int("cache-shards", 16, "result cache shard count")
 	cachePerShard := flag.Int("cache-per-shard", 256, "cached queries per shard")
 	flag.Parse()
@@ -64,17 +69,23 @@ func main() {
 		log.Fatal(err)
 	}
 	st := core.NewStore()
-	n, err := st.Load(f)
+	n, loadErr := st.Load(f)
 	f.Close()
-	if err != nil {
-		log.Fatal(err)
+	if loadErr != nil {
+		// A corrupt snapshot (failed CRC, truncated file) is not a reason
+		// to crash-loop: keep the process up so operators can hit /statsz
+		// and /healthz, but never report ready — the router will not send
+		// traffic to a shard holding a torn KB.
+		log.Printf("SNAPSHOT REJECTED, refusing ready: %v", loadErr)
+	} else {
+		log.Printf("loaded %d facts from %s: %s", n, *kbPath, st)
 	}
-	log.Printf("loaded %d facts from %s: %s", n, *kbPath, st)
 
 	srv := serve.NewServer(st, serve.Options{
-		Cache:    qcache.Options{Shards: *cacheShards, PerShard: *cachePerShard},
-		Timeout:  *timeout,
-		Snapshot: *kbPath,
+		Cache:     qcache.Options{Shards: *cacheShards, PerShard: *cachePerShard},
+		Timeout:   *timeout,
+		Snapshot:  *kbPath,
+		LoadError: loadErr,
 	})
 	// A public serving endpoint needs connection-level timeouts: the
 	// per-request query timeout only starts once a request is parsed, so
@@ -104,7 +115,15 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("signal received, draining for up to %v", *drain)
+	// Flip /readyz to 503 before Shutdown stops accepting: routers and
+	// load balancers polling readiness see "draining" and stop sending
+	// new work while the listener is still up, so no request races the
+	// closing socket. The notice window gives pollers one cycle to react.
+	srv.SetDraining(true)
+	log.Printf("signal received, draining for up to %v (notice %v)", *drain, *drainNotice)
+	if *drainNotice > 0 {
+		time.Sleep(*drainNotice)
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {

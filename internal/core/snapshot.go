@@ -3,7 +3,11 @@ package core
 import (
 	"bufio"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -17,20 +21,31 @@ import (
 //
 // Layout:
 //
-//	#!kbsnap 2
+//	#!kbsnap 3
 //	<s> <p> <o> .
 //	#!meta <conf> <begin> <end> <source...>
+//	#!kbcrc <crc32-hex> <fact-count>
 //
 // A meta line applies to the immediately preceding fact line. The
-// "#!kbsnap" header identifies a snapshot whose meta sources are escaped
-// (escapeMetaSource); Load unescapes only when it has seen the header, so
+// "#!kbsnap" header carries the format version: version >= 2 means meta
+// sources are escaped (escapeMetaSource; Load unescapes only then, so
 // legacy snapshots written before escaping existed load their sources —
-// backslash sequences included — verbatim.
+// backslash sequences included — verbatim), and version >= 3 means the
+// snapshot ends in a mandatory "#!kbcrc" trailer: a CRC32 (IEEE) over
+// every preceding line (normalized to "\n" endings) plus the fact
+// count. Load verifies the trailer, so a torn write — a crash mid-save,
+// a truncated copy, a flipped bit — is a loud integrity error instead of
+// a silently short KB. Trailer-less version <= 2 snapshots still load.
 
-// snapshotHeader marks a snapshot written by the escaping writer. Format
-// version 2 = meta-source escaping; version 1 (no header) wrote sources
-// verbatim.
-const snapshotHeader = "#!kbsnap 2"
+// snapshotVersion is the format version Save writes; see the layout
+// comment for what each version guarantees.
+const snapshotVersion = 3
+
+// snapshotHeader marks a snapshot written by the current writer.
+const snapshotHeader = "#!kbsnap 3"
+
+// crcPrefix starts the integrity trailer line.
+const crcPrefix = "#!kbcrc "
 
 // Save writes the store to w. Facts appear in insertion order. The fact
 // list and metadata are captured in one consistent view before
@@ -51,8 +66,13 @@ func (st *Store) SaveShards(ws []io.Writer, shardOf func(rdf.Triple) int) error 
 	}
 	_, ets, infos := st.log.snapshot()
 	bws := make([]*bufio.Writer, len(ws))
+	crcs := make([]hash.Hash32, len(ws))
+	counts := make([]int, len(ws))
 	for i, w := range ws {
-		bws[i] = bufio.NewWriter(w)
+		// Everything before the trailer flows through the CRC as it is
+		// written, so the trailer certifies exactly the bytes on disk.
+		crcs[i] = crc32.NewIEEE()
+		bws[i] = bufio.NewWriter(io.MultiWriter(w, crcs[i]))
 		if _, err := bws[i].WriteString(snapshotHeader + "\n"); err != nil {
 			return fmt.Errorf("core: save: %w", err)
 		}
@@ -67,6 +87,7 @@ func (st *Store) SaveShards(ws []io.Writer, shardOf func(rdf.Triple) int) error 
 			}
 		}
 		bw := bws[shard]
+		counts[shard]++
 		if _, err := bw.WriteString(t.String()); err != nil {
 			return fmt.Errorf("core: save: %w", err)
 		}
@@ -80,11 +101,67 @@ func (st *Store) SaveShards(ws []io.Writer, shardOf func(rdf.Triple) int) error 
 			}
 		}
 	}
-	for _, bw := range bws {
+	for i, bw := range bws {
 		if err := bw.Flush(); err != nil {
 			return fmt.Errorf("core: save: %w", err)
 		}
+		// The trailer itself bypasses the CRC writer: it certifies the
+		// content, it is not part of it.
+		trailer := fmt.Sprintf("%s%08x %d\n", crcPrefix, crcs[i].Sum32(), counts[i])
+		if _, err := io.WriteString(ws[i], trailer); err != nil {
+			return fmt.Errorf("core: save: %w", err)
+		}
 	}
+	return nil
+}
+
+// SaveFile writes the snapshot crash-safely: to a temp file in the
+// target directory, synced, then atomically renamed over path, so a
+// crash mid-save leaves either the old snapshot or the new one — never a
+// torn file.
+func (st *Store) SaveFile(path string) error {
+	return st.SaveShardFiles([]string{path}, nil)
+}
+
+// SaveShardFiles is SaveShards onto named files with crash safety: each
+// shard is written to a temp file beside its target, fsynced, and
+// atomically renamed into place only after a successful write. On error
+// the temp files are removed and every target keeps its previous
+// contents.
+func (st *Store) SaveShardFiles(paths []string, shardOf func(rdf.Triple) int) (err error) {
+	tmps := make([]*os.File, 0, len(paths))
+	defer func() {
+		if err != nil {
+			for _, f := range tmps {
+				f.Close()
+				os.Remove(f.Name())
+			}
+		}
+	}()
+	ws := make([]io.Writer, len(paths))
+	for i, p := range paths {
+		f, ferr := os.CreateTemp(filepath.Dir(p), filepath.Base(p)+".tmp*")
+		if ferr != nil {
+			return fmt.Errorf("core: save: %w", ferr)
+		}
+		tmps = append(tmps, f)
+		ws[i] = f
+	}
+	if err = st.SaveShards(ws, shardOf); err != nil {
+		return err
+	}
+	for i, f := range tmps {
+		if err = f.Sync(); err != nil {
+			return fmt.Errorf("core: save: sync %s: %w", f.Name(), err)
+		}
+		if err = f.Close(); err != nil {
+			return fmt.Errorf("core: save: close %s: %w", f.Name(), err)
+		}
+		if err = os.Rename(f.Name(), paths[i]); err != nil {
+			return fmt.Errorf("core: save: %w", err)
+		}
+	}
+	tmps = nil // every rename landed; nothing to clean up
 	return nil
 }
 
@@ -95,12 +172,24 @@ const loadBatchSize = 4096
 // Load reads a snapshot produced by Save into an empty-or-existing store.
 // Facts are asserted through the batch write path in chunks of
 // loadBatchSize. It returns the number of facts loaded.
+//
+// Snapshots with a version >= 3 header must end in a valid "#!kbcrc"
+// trailer; a missing trailer (truncated file), a CRC mismatch (corrupted
+// bytes), or a fact-count mismatch fails the load, so a torn snapshot
+// can never silently serve as a short KB. Older snapshots have no
+// trailer and load as before.
 func (st *Store) Load(r io.Reader) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	n := 0
 	lineNo := 0
-	escaped := false // saw snapshotHeader: meta sources are escaped
+	escaped := false     // header version >= 2: meta sources are escaped
+	crcRequired := false // header version >= 3: trailer must be present
+	sawTrailer := false
+	// The running CRC hashes each content line normalized to a "\n"
+	// ending — exactly the bytes SaveShards wrote (it never emits \r),
+	// while staying robust to CRLF translation in transit.
+	crc := crc32.NewIEEE()
 	var (
 		pending []rdf.Triple
 		infos   []*FactInfo
@@ -123,11 +212,29 @@ func (st *Store) Load(r io.Reader) (int, error) {
 		// Classify on a left-trimmed view so hand-indented comment and
 		// meta lines still parse, without disturbing the trailing bytes.
 		ltrim := strings.TrimLeft(line, " \t")
+		if strings.HasPrefix(ltrim, crcPrefix) {
+			if sawTrailer {
+				return n, fmt.Errorf("core: load: line %d: duplicate %strailer", lineNo, crcPrefix)
+			}
+			if err := verifyCRCTrailer(ltrim, crc.Sum32(), n); err != nil {
+				return n, fmt.Errorf("core: load: line %d: %w", lineNo, err)
+			}
+			sawTrailer = true
+			continue
+		}
+		if sawTrailer && strings.TrimSpace(ltrim) != "" {
+			return n, fmt.Errorf("core: load: line %d: content after %strailer", lineNo, crcPrefix)
+		}
+		crc.Write([]byte(line))
+		crc.Write([]byte{'\n'})
 		switch {
 		case strings.TrimSpace(ltrim) == "":
 			continue
 		case strings.HasPrefix(ltrim, "#!kbsnap"):
 			escaped = true
+			if v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(ltrim, "#!kbsnap"))); err == nil && v >= 3 {
+				crcRequired = true
+			}
 			continue
 		case strings.HasPrefix(ltrim, "#!meta "):
 			if len(pending) == 0 {
@@ -160,11 +267,38 @@ func (st *Store) Load(r io.Reader) (int, error) {
 			}
 		}
 	}
-	flush()
 	if err := sc.Err(); err != nil {
 		return n, fmt.Errorf("core: load: %w", err)
 	}
+	if crcRequired && !sawTrailer {
+		return n, fmt.Errorf("core: load: truncated snapshot: missing %strailer after %d facts", crcPrefix, n)
+	}
+	flush()
 	return n, nil
+}
+
+// verifyCRCTrailer checks one "#!kbcrc <hex> <count>" line against the
+// running CRC and fact count.
+func verifyCRCTrailer(line string, gotCRC uint32, gotFacts int) error {
+	fields := strings.Fields(strings.TrimPrefix(line, crcPrefix))
+	if len(fields) != 2 {
+		return fmt.Errorf("malformed %strailer %q", crcPrefix, line)
+	}
+	wantCRC, err := strconv.ParseUint(fields[0], 16, 32)
+	if err != nil {
+		return fmt.Errorf("%strailer crc: %w", crcPrefix, err)
+	}
+	wantFacts, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return fmt.Errorf("%strailer count: %w", crcPrefix, err)
+	}
+	if uint32(wantCRC) != gotCRC {
+		return fmt.Errorf("snapshot corrupt: crc %08x, trailer says %08x", gotCRC, uint32(wantCRC))
+	}
+	if wantFacts != gotFacts {
+		return fmt.Errorf("snapshot corrupt: %d facts, trailer says %d", gotFacts, wantFacts)
+	}
+	return nil
 }
 
 // parseMetaLine decodes one "#!meta" line. escaped reports whether the

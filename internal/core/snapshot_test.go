@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -343,7 +345,7 @@ func TestSaveShardsRoundTrip(t *testing.T) {
 	merged := NewStore()
 	total := 0
 	for i := range bufs {
-		if !strings.HasPrefix(bufs[i].String(), "#!kbsnap 2\n") {
+		if !strings.HasPrefix(bufs[i].String(), "#!kbsnap 3\n") {
 			t.Errorf("shard %d missing version header", i)
 		}
 		shard := NewStore()
@@ -397,7 +399,7 @@ func TestSnapshotHeaderWrittenAndGatesUnescaping(t *testing.T) {
 	if err := st.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(buf.String(), "#!kbsnap 2\n") {
+	if !strings.HasPrefix(buf.String(), "#!kbsnap 3\n") {
 		t.Fatalf("snapshot does not start with version header:\n%s", buf.String())
 	}
 	loaded := NewStore()
@@ -408,5 +410,146 @@ func TestSnapshotHeaderWrittenAndGatesUnescaping(t *testing.T) {
 	info, _ := loaded.Info(lid)
 	if info.Source != "a\nb" {
 		t.Errorf("versioned source = %q, want %q", info.Source, "a\nb")
+	}
+}
+
+// The v3 trailer turns torn writes into loud errors: a truncated copy, a
+// flipped bit, a wrong fact count, or trailing garbage must all fail the
+// load, while trailer-less legacy snapshots keep loading.
+func TestSnapshotCRCDetectsCorruption(t *testing.T) {
+	st := NewStore()
+	for i := 0; i < 20; i++ {
+		id := st.Add(rdf.T(fmt.Sprintf("kb:e%d", i), "kb:rel", fmt.Sprintf("kb:v%d", i)))
+		st.SetInfo(id, FactInfo{Confidence: 0.7, Source: fmt.Sprintf("src%d", i), Time: Interval{1, 2}})
+	}
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	if !strings.Contains(good, "#!kbcrc ") {
+		t.Fatalf("snapshot has no CRC trailer:\n%s", good)
+	}
+	if n, err := NewStore().Load(strings.NewReader(good)); err != nil || n != st.Len() {
+		t.Fatalf("clean load = %d, %v; want %d, nil", n, err, st.Len())
+	}
+
+	cases := []struct {
+		name, data string
+	}{
+		{"truncated before trailer", good[:strings.Index(good, "#!kbcrc ")]},
+		{"truncated mid-facts", good[:len(good)/2]},
+		{"bit flip", strings.Replace(good, "kb:e7", "kb:f7", 1)},
+		{"dropped fact line", strings.Replace(good, "<kb:e3> <kb:rel> <kb:v3> .\n", "", 1)},
+		{"content after trailer", good + "<kb:x> <kb:p> <kb:y> .\n"},
+		{"duplicate trailer", good + good[strings.Index(good, "#!kbcrc "):]},
+		{"malformed trailer", strings.Replace(good, "#!kbcrc ", "#!kbcrc zz ", 1)},
+	}
+	for _, tc := range cases {
+		if _, err := NewStore().Load(strings.NewReader(tc.data)); err == nil {
+			t.Errorf("%s: load succeeded, want integrity error", tc.name)
+		}
+	}
+
+	// Legacy: no header, no trailer — still loads.
+	legacy := "<kb:a> <kb:p> <kb:b> .\n#!meta 0.5 1 2 src\n"
+	if n, err := NewStore().Load(strings.NewReader(legacy)); err != nil || n != 1 {
+		t.Errorf("legacy load = %d, %v; want 1, nil", n, err)
+	}
+	// v2: header but no trailer — still loads (written before trailers).
+	v2 := "#!kbsnap 2\n<kb:a> <kb:p> <kb:b> .\n"
+	if n, err := NewStore().Load(strings.NewReader(v2)); err != nil || n != 1 {
+		t.Errorf("v2 load = %d, %v; want 1, nil", n, err)
+	}
+}
+
+// CRLF translation in transit (editors, some copy tools) must not break
+// trailer verification: the CRC is over "\n"-normalized lines.
+func TestSnapshotCRCSurvivesCRLF(t *testing.T) {
+	st := NewStore()
+	id := st.Add(rdf.T("kb:s", "kb:p", "kb:o"))
+	st.SetInfo(id, FactInfo{Confidence: 0.5, Source: "src", Time: Interval{1, 2}})
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	crlf := strings.ReplaceAll(buf.String(), "\n", "\r\n")
+	if n, err := NewStore().Load(strings.NewReader(crlf)); err != nil || n != 1 {
+		t.Fatalf("CRLF load = %d, %v; want 1, nil", n, err)
+	}
+}
+
+// SaveFile writes through a temp file and renames, so the target is
+// either absent or a complete, verifiable snapshot — and no temp files
+// are left behind.
+func TestSaveFileAtomicAndClean(t *testing.T) {
+	dir := t.TempDir()
+	st := NewStore()
+	for i := 0; i < 5; i++ {
+		st.Add(rdf.T(fmt.Sprintf("kb:s%d", i), "kb:p", "kb:o"))
+	}
+	path := filepath.Join(dir, "kb.nt")
+	if err := st.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewStore()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := loaded.Load(bytes.NewReader(data)); err != nil || n != st.Len() {
+		t.Fatalf("Load = %d, %v; want %d, nil", n, err, st.Len())
+	}
+	// Overwrite in place: the old snapshot must be replaced atomically.
+	st.Add(rdf.T("kb:extra", "kb:p", "kb:o"))
+	if err := st.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "kb.nt" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only kb.nt (no temp litter)", names)
+	}
+}
+
+func TestSaveShardFiles(t *testing.T) {
+	dir := t.TempDir()
+	st := NewStore()
+	for i := 0; i < 30; i++ {
+		st.Add(rdf.T(fmt.Sprintf("kb:s%d", i), "kb:p", fmt.Sprintf("kb:o%d", i)))
+	}
+	paths := []string{
+		filepath.Join(dir, "shard0.nt"),
+		filepath.Join(dir, "shard1.nt"),
+		filepath.Join(dir, "shard2.nt"),
+	}
+	shardOf := func(tr rdf.Triple) int { return len(tr.S.Value) % len(paths) }
+	if err := st.SaveShardFiles(paths, shardOf); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard := NewStore()
+		n, err := shard.Load(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		total += n
+	}
+	if total != st.Len() {
+		t.Fatalf("shards hold %d facts, want %d", total, st.Len())
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != len(paths) {
+		t.Fatalf("directory holds %d entries, want %d (no temp litter)", len(entries), len(paths))
 	}
 }

@@ -500,7 +500,7 @@ func E11Multilingual() []*eval.Table {
 			eval.Accuracy(correct, len(aligns)),
 			eval.Accuracy(correct, len(src)))
 	}
-	return []*eval.Table{tab}
+	return []*eval.Table{tab, e11bFaultTolerance()}
 }
 
 // E12RuleMining — §3: commonsense rule mining (AMIE-style) over the KB.

@@ -1,0 +1,224 @@
+package faultkb
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// upstream answers every request with a fixed JSON body.
+func upstream(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"rows": [1, 2, 3, 4, 5, 6, 7, 8], "count": 8}`)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func proxyFor(t *testing.T, target string, in *Injector) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewProxy(target, in, nil))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	up := upstream(t)
+	in := New(1)
+	px := proxyFor(t, up.URL, in)
+	resp, err := http.Get(px.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"count": 8`) {
+		t.Fatalf("status %d body %q", resp.StatusCode, body)
+	}
+	st := in.Stats()
+	if st.Requests != 1 || st.Forwarded != 1 || st.Errors+st.Drops+st.Truncated != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestProxyInjectsErrors(t *testing.T) {
+	up := upstream(t)
+	in := New(1)
+	in.SetPlan(Plan{ErrorRate: 1})
+	px := proxyFor(t, up.URL, in)
+	resp, err := http.Get(px.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Errorf("error envelope not JSON: %v", err)
+	}
+	if in.Stats().Errors != 1 {
+		t.Errorf("stats = %+v", in.Stats())
+	}
+}
+
+func TestProxyInjectsDrops(t *testing.T) {
+	up := upstream(t)
+	in := New(1)
+	in.SetPlan(Plan{DropRate: 1})
+	px := proxyFor(t, up.URL, in)
+	if _, err := http.Get(px.URL + "/query"); err == nil {
+		t.Fatal("dropped request returned a response")
+	}
+	if in.Stats().Drops != 1 {
+		t.Errorf("stats = %+v", in.Stats())
+	}
+}
+
+func TestProxyTruncatesBodies(t *testing.T) {
+	up := upstream(t)
+	in := New(1)
+	in.SetPlan(Plan{TruncateRate: 1})
+	px := proxyFor(t, up.URL, in)
+	resp, err := http.Get(px.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// The body read (or its JSON decode) must fail partway through.
+	var out map[string]interface{}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	if err == nil {
+		t.Fatal("truncated body decoded cleanly")
+	}
+	if in.Stats().Truncated != 1 {
+		t.Errorf("stats = %+v", in.Stats())
+	}
+}
+
+func TestProxyInjectsLatency(t *testing.T) {
+	up := upstream(t)
+	in := New(1)
+	in.SetPlan(Plan{Latency: 30 * time.Millisecond})
+	px := proxyFor(t, up.URL, in)
+	t0 := time.Now()
+	resp, err := http.Get(px.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if d := time.Since(t0); d < 30*time.Millisecond {
+		t.Errorf("request took %v, want >= 30ms", d)
+	}
+	if in.Stats().Delayed != 1 {
+		t.Errorf("stats = %+v", in.Stats())
+	}
+}
+
+// A script drives a flapping replica: down for 2 requests, up for 2,
+// down for 2, then up for good.
+func TestScriptSchedule(t *testing.T) {
+	up := upstream(t)
+	in := New(1)
+	in.SetScript([]Step{
+		{N: 2, Plan: Plan{ErrorRate: 1}},
+		{N: 2, Plan: Plan{}},
+		{N: 2, Plan: Plan{ErrorRate: 1}},
+		{N: 1, Plan: Plan{}},
+	})
+	px := proxyFor(t, up.URL, in)
+	want := []int{500, 500, 200, 200, 500, 500, 200, 200, 200}
+	for i, w := range want {
+		resp, err := http.Get(px.URL + "/query")
+		if err != nil {
+			t.Fatalf("req %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != w {
+			t.Fatalf("req %d: status %d, want %d", i, resp.StatusCode, w)
+		}
+	}
+}
+
+func TestRoundTripperFaults(t *testing.T) {
+	up := upstream(t)
+
+	in := New(1)
+	in.SetPlan(Plan{DropRate: 1})
+	hc := &http.Client{Transport: in.RoundTripper(nil)}
+	if _, err := hc.Get(up.URL); err == nil {
+		t.Fatal("drop did not surface as a transport error")
+	}
+
+	in.SetPlan(Plan{ErrorRate: 1})
+	resp, err := hc.Get(up.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+
+	in.SetPlan(Plan{TruncateRate: 1})
+	resp, err = hc.Get(up.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated read error = %v, want unexpected EOF", err)
+	}
+
+	in.SetPlan(Plan{})
+	resp, err = hc.Get(up.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || !strings.Contains(string(body), `"count": 8`) {
+		t.Errorf("clean plan: err %v body %q", err, body)
+	}
+}
+
+// Probabilistic rates with a fixed seed are deterministic and land near
+// the configured rate.
+func TestSeededRatesReplay(t *testing.T) {
+	outcomes := func(seed int64) []fault {
+		in := New(seed)
+		in.SetPlan(Plan{ErrorRate: 0.3})
+		out := make([]fault, 200)
+		for i := range out {
+			out[i], _ = in.decide()
+		}
+		return out
+	}
+	a, b := outcomes(7), outcomes(7)
+	errs := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across replays", i)
+		}
+		if a[i] == faultError {
+			errs++
+		}
+	}
+	if errs < 30 || errs > 90 {
+		t.Errorf("0.3 error rate produced %d/200 errors", errs)
+	}
+}

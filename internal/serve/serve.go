@@ -64,6 +64,8 @@ type EstimateResponse struct {
 type ReadyResponse struct {
 	Facts    int    `json:"facts"`
 	Snapshot string `json:"snapshot,omitempty"`
+	// Error explains a 503: snapshot integrity failure or draining.
+	Error string `json:"error,omitempty"`
 }
 
 // ErrorResponse is the JSON error envelope every endpoint uses.
@@ -80,6 +82,11 @@ type Options struct {
 	// Snapshot is the path the store was loaded from, reported by
 	// /readyz so operators and the router can tell shards apart.
 	Snapshot string
+	// LoadError marks the snapshot as failed (e.g. CRC verification
+	// rejected it). The server still answers — operators can inspect
+	// /statsz — but /readyz stays 503 so no router sends traffic to a
+	// shard serving a torn KB.
+	LoadError error
 }
 
 // LatencyHistogram counts request latencies in power-of-two microsecond
@@ -124,6 +131,12 @@ func (h *LatencyHistogram) quantile(q float64) uint64 {
 	return uint64(1) << (len(h.buckets) - 1)
 }
 
+// Quantile returns an upper bound on the q-quantile latency. The
+// shardkb client derives percentile-based hedge delays from it.
+func (h *LatencyHistogram) Quantile(q float64) time.Duration {
+	return time.Duration(h.quantile(q)) * time.Microsecond
+}
+
 // Summary snapshots the histogram into the /statsz latency block.
 func (h *LatencyHistogram) Summary() LatencyStats {
 	lat := LatencyStats{
@@ -144,6 +157,8 @@ type Server struct {
 	cache    *qcache.Cache
 	timeout  time.Duration
 	snapshot string
+	loadErr  error
+	draining atomic.Bool
 	mux      *http.ServeMux
 	lat      LatencyHistogram
 }
@@ -155,6 +170,7 @@ func NewServer(st *core.Store, opt Options) *Server {
 		cache:    qcache.New(st, opt.Cache),
 		timeout:  opt.Timeout,
 		snapshot: opt.Snapshot,
+		loadErr:  opt.LoadError,
 		mux:      http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
@@ -320,15 +336,31 @@ func patternSkeleton(p core.Pattern) rdf.Triple {
 	return t
 }
 
+// SetDraining flips the shard in or out of drain mode. While draining,
+// /readyz answers 503 so routers and load balancers stop sending new
+// work, while in-flight and keep-alive requests still complete —
+// cmd/kbserve sets it before starting the shutdown deadline.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	resp := ReadyResponse{Facts: s.st.Len(), Snapshot: s.snapshot}
-	if resp.Facts == 0 {
+	switch {
+	case s.loadErr != nil:
+		// The snapshot failed integrity verification: serving it would
+		// present a torn, silently short KB as healthy. Never ready.
+		resp.Error = "snapshot failed verification: " + s.loadErr.Error()
+		WriteJSON(w, http.StatusServiceUnavailable, resp)
+	case s.draining.Load():
+		resp.Error = "draining"
+		WriteJSON(w, http.StatusServiceUnavailable, resp)
+	case resp.Facts == 0:
 		// An empty store means the shard is still loading (or was pointed
 		// at the wrong snapshot); the router must not route here.
+		resp.Error = "empty store"
 		WriteJSON(w, http.StatusServiceUnavailable, resp)
-		return
+	default:
+		WriteJSON(w, http.StatusOK, resp)
 	}
-	WriteJSON(w, http.StatusOK, resp)
 }
 
 // StatszResponse is the GET /statsz reply.

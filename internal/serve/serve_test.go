@@ -284,3 +284,113 @@ func TestServerConcurrentQueriesWithWriter(t *testing.T) {
 	default:
 	}
 }
+
+// Every error path must answer with the well-formed JSON error envelope
+// and the right status: clients (and the router) parse these bodies, so
+// a bare text error would break them.
+func TestServerErrorEnvelopes(t *testing.T) {
+	srv := newTestServer(testStore(), time.Second)
+	oversized := `{"patterns": ["?p kb:founded ?c"], "pad": "` + strings.Repeat("x", 2<<20) + `"}`
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"malformed json", "/query", `{"patterns": [`, http.StatusBadRequest},
+		{"not json at all", "/query", `<html>`, http.StatusBadRequest},
+		{"oversized body", "/query", oversized, http.StatusBadRequest},
+		{"bad pattern", "/query", `{"patterns": ["too few"]}`, http.StatusBadRequest},
+		{"estimate malformed", "/estimate", `}{`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec := postJSON(t, srv, c.path, c.body)
+		if rec.Code != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, rec.Code, c.want)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type %q, want application/json", c.name, ct)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+			t.Errorf("%s: body %q is not an error envelope (%v)", c.name, rec.Body.String(), err)
+		}
+	}
+	// The timeout path flows through WriteQueryError: 504 plus envelope.
+	slow := newTestServer(testStore(), time.Nanosecond)
+	rec := postJSON(t, slow, "/query", `{"patterns": ["?p kb:founded ?c"]}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("timeout status %d, want 504", rec.Code)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+		t.Errorf("timeout body %q is not an error envelope (%v)", rec.Body.String(), err)
+	}
+}
+
+// A snapshot that failed integrity verification must never report ready,
+// even with facts loaded before the corruption was hit.
+func TestServerReadyzLoadError(t *testing.T) {
+	srv := NewServer(testStore(), Options{
+		Snapshot:  "kb.0.nt",
+		LoadError: fmt.Errorf("snapshot corrupt: crc aaaa, trailer says bbbb"),
+	})
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("corrupt-snapshot readyz = %d, want 503", rec.Code)
+	}
+	var resp ReadyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Error, "snapshot failed verification") {
+		t.Errorf("readyz error = %q", resp.Error)
+	}
+}
+
+// The ready -> draining transition a rolling restart depends on: /readyz
+// flips to 503 while /query keeps answering, and flipping back restores
+// readiness.
+func TestServerReadyzDraining(t *testing.T) {
+	srv := newTestServer(testStore(), time.Second)
+	readyz := func() int {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		return rec.Code
+	}
+	if c := readyz(); c != http.StatusOK {
+		t.Fatalf("readyz before drain = %d", c)
+	}
+	srv.SetDraining(true)
+	if c := readyz(); c != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", c)
+	}
+	// In-flight and keep-alive queries still answer during the notice.
+	rec, resp := postQuery(t, srv, `{"patterns": ["?p kb:founded ?c"]}`)
+	if rec.Code != http.StatusOK || resp.Count != 3 {
+		t.Fatalf("query while draining = %d count %d, want 200/3", rec.Code, resp.Count)
+	}
+	srv.SetDraining(false)
+	if c := readyz(); c != http.StatusOK {
+		t.Fatalf("readyz after drain cleared = %d", c)
+	}
+}
+
+// Quantile is the exported face of the histogram the shardkb client
+// derives hedge delays from.
+func TestLatencyQuantile(t *testing.T) {
+	var h LatencyHistogram
+	if h.Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	for i := 0; i < 99; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(50 * time.Millisecond)
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 < 100*time.Microsecond || p50 > time.Millisecond {
+		t.Errorf("p50 = %v, want a small upper bound near 100us", p50)
+	}
+	if p99 < p50 {
+		t.Errorf("p99 %v < p50 %v", p99, p50)
+	}
+}

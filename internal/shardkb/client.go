@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -24,12 +25,23 @@ import (
 // Result.Partial set instead.
 var ErrPartial = errors.New("shardkb: partial shard results")
 
+// errBodyTooLarge marks a reply exceeding Options.MaxBodyBytes. It is
+// not transient: the same replica would send the same oversized body on
+// a retry.
+var errBodyTooLarge = errors.New("shardkb: response body too large")
+
 // Options tunes a Client.
 type Options struct {
-	// Timeout bounds each shard RPC (default 2s).
+	// Shards lists the tier as replica groups: Shards[i] holds the base
+	// URLs of every kbserve replica serving partition i (all loaded from
+	// the same kb.i.nt snapshot). When set it overrides the flat URL
+	// list passed to New, which remains the 1-replica-per-shard case.
+	Shards [][]string
+	// Timeout bounds each replica RPC attempt (default 2s).
 	Timeout time.Duration
-	// MaxInFlight bounds concurrent shard RPCs across all in-progress
-	// scatters (default 2x the shard count, minimum 4).
+	// MaxInFlight bounds concurrent logical shard RPCs across all
+	// in-progress scatters (default 2x the shard count, minimum 4).
+	// Retries and hedges ride the slot their logical RPC holds.
 	MaxInFlight int
 	// AllowPartial merges available results when shards fail instead of
 	// failing the query with ErrPartial.
@@ -37,6 +49,36 @@ type Options struct {
 	// HTTPClient overrides the transport (default http.DefaultClient
 	// semantics with no client-level timeout; per-RPC contexts bound it).
 	HTTPClient *http.Client
+
+	// MaxAttempts caps physical attempts per logical shard RPC,
+	// counting the first try, retries, and hedges. Default: twice the
+	// shard's replica count, clamped to [2, 4].
+	MaxAttempts int
+	// RetryBase is the first retry backoff; attempt k waits
+	// jitter(RetryBase << k) capped at RetryMax. Defaults 20ms / 250ms.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+
+	// HedgeDelay, when > 0, fires one hedge request to the next replica
+	// if the first attempt has not replied within the delay; the first
+	// reply wins and the loser is cancelled. Requires >= 2 replicas.
+	HedgeDelay time.Duration
+	// HedgePercentile, when > 0 (e.g. 0.99) and HedgeDelay is unset,
+	// derives the hedge delay from the client's observed RPC latency
+	// histogram: hedge once an attempt outlives that quantile. Takes
+	// effect after a short warmup of observed RPCs.
+	HedgePercentile float64
+
+	// BreakerThreshold opens a replica's circuit breaker after this many
+	// consecutive failures (default 5; negative disables breakers). An
+	// open replica receives no traffic until a half-open /readyz probe
+	// succeeds after BreakerCooldown (default 1s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// MaxBodyBytes caps a reply body (default 32 MiB); larger replies
+	// fail the RPC instead of buffering without bound.
+	MaxBodyBytes int64
 }
 
 // Result is the outcome of one pattern execution.
@@ -46,33 +88,144 @@ type Result struct {
 	// Partial reports that some shards failed and AllowPartial merged
 	// the rest — the result may be missing matches.
 	Partial bool
-	// RPCs is the number of shard requests this execution issued: 1 on
-	// the fast path, the shard count on a scatter.
+	// RPCs is the number of physical shard requests this execution
+	// issued: 1 on the healthy fast path, more when retries or hedges
+	// fired, the shard count (plus retries) on a scatter.
 	RPCs int
 }
 
-// shardCounters are the per-shard atomics behind Stats.
-type shardCounters struct {
+// breaker states.
+const (
+	brClosed int = iota
+	brOpen
+	brHalfOpen
+)
+
+// breakerStateName maps states onto the strings Stats reports.
+var breakerStateName = [...]string{"closed", "open", "half-open"}
+
+// breaker is a per-replica circuit breaker: closed → open after a run of
+// consecutive failures → half-open probe via /readyz → closed on a
+// successful probe (or any successful request), back to open on a failed
+// one. It sheds traffic from a dead replica without giving up on it.
+type breaker struct {
+	mu          sync.Mutex
+	state       int
+	fails       int
+	until       time.Time // while open: when a half-open probe may start
+	probing     bool
+	opens       uint64
+	transitions uint64
+}
+
+// allow reports whether a request may be sent to this replica; probe
+// additionally asks the caller to launch a half-open /readyz probe.
+func (b *breaker) allow(threshold int, now time.Time) (ok, probe bool) {
+	if threshold <= 0 {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brClosed:
+		return true, false
+	case brOpen:
+		if now.After(b.until) && !b.probing {
+			b.state = brHalfOpen
+			b.transitions++
+			b.probing = true
+			return false, true
+		}
+		return false, false
+	default: // half-open: the in-flight probe decides
+		return false, false
+	}
+}
+
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	if b.state != brClosed {
+		b.state = brClosed
+		b.transitions++
+	}
+}
+
+func (b *breaker) onFailure(threshold int, cooldown time.Duration, now time.Time) {
+	if threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	b.probing = false
+	if (b.state == brClosed && b.fails >= threshold) || b.state == brHalfOpen {
+		if b.state != brOpen {
+			b.opens++
+			b.transitions++
+		}
+		b.state = brOpen
+		b.until = now.Add(cooldown)
+	}
+}
+
+func (b *breaker) snapshot() (state string, opens, transitions uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return breakerStateName[b.state], b.opens, b.transitions
+}
+
+// replica is one kbserve process inside a shard's replica group.
+type replica struct {
+	url   string
 	rpcs  atomic.Uint64
 	errs  atomic.Uint64
 	sumUS atomic.Uint64
+	br    breaker
 }
 
-// ShardStats is one shard's view in Stats.
+// group is one shard's replica set.
+type group struct {
+	replicas []*replica
+	next     atomic.Uint64 // rotating start replica for load spreading
+}
+
+func (g *group) label() string {
+	urls := make([]string, len(g.replicas))
+	for i, r := range g.replicas {
+		urls[i] = r.url
+	}
+	return strings.Join(urls, "|")
+}
+
+// ReplicaStats is one replica's view in Stats.
+type ReplicaStats struct {
+	URL          string  `json:"url"`
+	RPCs         uint64  `json:"rpcs"`
+	Errors       uint64  `json:"errors"`
+	MeanUS       float64 `json:"mean_us"`
+	Breaker      string  `json:"breaker"`
+	BreakerOpens uint64  `json:"breaker_opens"`
+}
+
+// ShardStats is one shard group's view in Stats.
 type ShardStats struct {
-	URL    string  `json:"url"`
-	RPCs   uint64  `json:"rpcs"`
-	Errors uint64  `json:"errors"`
-	MeanUS float64 `json:"mean_us"`
+	Replicas []ReplicaStats `json:"replicas"`
 }
 
 // Stats is a point-in-time snapshot of the client's counters.
 type Stats struct {
-	FastPath        uint64       `json:"fast_path"` // subject-pinned single-RPC executions
-	Scatters        uint64       `json:"scatters"`  // full fan-out executions
-	RPCs            uint64       `json:"rpcs"`      // total shard RPCs issued
-	PartialFailures uint64       `json:"partial_failures"`
-	Shards          []ShardStats `json:"shards"`
+	FastPath           uint64       `json:"fast_path"` // subject-pinned single-group executions
+	Scatters           uint64       `json:"scatters"`  // full fan-out executions
+	RPCs               uint64       `json:"rpcs"`      // physical replica RPCs issued
+	Retries            uint64       `json:"retries"`
+	HedgesFired        uint64       `json:"hedges_fired"`
+	HedgesWon          uint64       `json:"hedges_won"`
+	BreakerTransitions uint64       `json:"breaker_transitions"`
+	PartialFailures    uint64       `json:"partial_failures"`
+	Shards             []ShardStats `json:"shards"`
 }
 
 // FastPathRate returns the fraction of pattern executions that were
@@ -84,57 +237,121 @@ func (s Stats) FastPathRate() float64 {
 	return 0
 }
 
-// Client executes single triple patterns against N kbserve shards.
+// Client executes single triple patterns against N kbserve shard groups,
+// retrying transient failures across each group's replicas with backoff,
+// optionally hedging slow requests, and shedding traffic from dead
+// replicas through per-replica circuit breakers.
 type Client struct {
-	urls         []string
+	groups       []*group
 	hc           *http.Client
 	timeout      time.Duration
 	allowPartial bool
 	sem          chan struct{}
 
+	maxAttempts int
+	retryBase   time.Duration
+	retryMax    time.Duration
+	hedgeDelay  time.Duration
+	hedgePct    float64
+	brThreshold int
+	brCooldown  time.Duration
+	maxBody     int64
+
+	lat             serve.LatencyHistogram // all replica RPCs, feeds percentile hedging
 	fastPath        atomic.Uint64
 	scatters        atomic.Uint64
 	rpcs            atomic.Uint64
+	retries         atomic.Uint64
+	hedgesFired     atomic.Uint64
+	hedgesWon       atomic.Uint64
 	partialFailures atomic.Uint64
-	shards          []shardCounters
 }
 
-// New builds a client over the given kbserve base URLs (shard i serves
-// the facts TripleShard assigns to i — the order must match the builder's
-// partitioning).
+// hedgeWarmup is the number of observed RPCs required before percentile
+// hedging trusts the latency histogram.
+const hedgeWarmup = 16
+
+// drainLimit bounds how much of a leftover response body is drained
+// before close to keep the connection reusable; anything longer is
+// cheaper to tear down.
+const drainLimit = 256 << 10
+
+// New builds a client over the tier. The flat shardURLs list is the
+// 1-replica-per-shard case (shard i serves the facts TripleShard assigns
+// to i — the order must match the builder's partitioning);
+// Options.Shards supersedes it with explicit replica groups.
 func New(shardURLs []string, opt Options) (*Client, error) {
-	if len(shardURLs) == 0 {
+	groupURLs := opt.Shards
+	if groupURLs == nil {
+		groupURLs = make([][]string, len(shardURLs))
+		for i, u := range shardURLs {
+			groupURLs[i] = []string{u}
+		}
+	}
+	if len(groupURLs) == 0 {
 		return nil, errors.New("shardkb: no shard URLs")
 	}
-	urls := make([]string, len(shardURLs))
-	for i, u := range shardURLs {
-		urls[i] = strings.TrimRight(u, "/")
+	groups := make([]*group, len(groupURLs))
+	for i, urls := range groupURLs {
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("shardkb: shard %d has no replicas", i)
+		}
+		g := &group{replicas: make([]*replica, len(urls))}
+		for j, u := range urls {
+			g.replicas[j] = &replica{url: strings.TrimRight(u, "/")}
+		}
+		groups[i] = g
 	}
 	if opt.Timeout <= 0 {
 		opt.Timeout = 2 * time.Second
 	}
 	if opt.MaxInFlight <= 0 {
-		opt.MaxInFlight = 2 * len(urls)
+		opt.MaxInFlight = 2 * len(groups)
 		if opt.MaxInFlight < 4 {
 			opt.MaxInFlight = 4
 		}
+	}
+	if opt.RetryBase <= 0 {
+		opt.RetryBase = 20 * time.Millisecond
+	}
+	if opt.RetryMax <= 0 {
+		opt.RetryMax = 250 * time.Millisecond
+	}
+	if opt.BreakerThreshold == 0 {
+		opt.BreakerThreshold = 5
+	}
+	if opt.BreakerCooldown <= 0 {
+		opt.BreakerCooldown = time.Second
+	}
+	if opt.MaxBodyBytes <= 0 {
+		opt.MaxBodyBytes = 32 << 20
 	}
 	hc := opt.HTTPClient
 	if hc == nil {
 		hc = &http.Client{}
 	}
 	return &Client{
-		urls:         urls,
+		groups:       groups,
 		hc:           hc,
 		timeout:      opt.Timeout,
 		allowPartial: opt.AllowPartial,
 		sem:          make(chan struct{}, opt.MaxInFlight),
-		shards:       make([]shardCounters, len(urls)),
+		maxAttempts:  opt.MaxAttempts,
+		retryBase:    opt.RetryBase,
+		retryMax:     opt.RetryMax,
+		hedgeDelay:   opt.HedgeDelay,
+		hedgePct:     opt.HedgePercentile,
+		brThreshold:  opt.BreakerThreshold,
+		brCooldown:   opt.BreakerCooldown,
+		maxBody:      opt.MaxBodyBytes,
 	}, nil
 }
 
-// NumShards returns the shard count.
-func (c *Client) NumShards() int { return len(c.urls) }
+// NumShards returns the shard (replica group) count.
+func (c *Client) NumShards() int { return len(c.groups) }
+
+// NumReplicas returns the replica count of one shard group.
+func (c *Client) NumReplicas(shard int) int { return len(c.groups[shard].replicas) }
 
 // AllowsPartial reports the configured partial-failure policy.
 func (c *Client) AllowsPartial() bool { return c.allowPartial }
@@ -145,65 +362,286 @@ func (c *Client) Stats() Stats {
 		FastPath:        c.fastPath.Load(),
 		Scatters:        c.scatters.Load(),
 		RPCs:            c.rpcs.Load(),
+		Retries:         c.retries.Load(),
+		HedgesFired:     c.hedgesFired.Load(),
+		HedgesWon:       c.hedgesWon.Load(),
 		PartialFailures: c.partialFailures.Load(),
-		Shards:          make([]ShardStats, len(c.urls)),
+		Shards:          make([]ShardStats, len(c.groups)),
 	}
-	for i := range c.shards {
-		sc := &c.shards[i]
-		ss := ShardStats{URL: c.urls[i], RPCs: sc.rpcs.Load(), Errors: sc.errs.Load()}
-		if ss.RPCs > 0 {
-			ss.MeanUS = float64(sc.sumUS.Load()) / float64(ss.RPCs)
+	for i, g := range c.groups {
+		ss := ShardStats{Replicas: make([]ReplicaStats, len(g.replicas))}
+		for j, rep := range g.replicas {
+			rs := ReplicaStats{URL: rep.url, RPCs: rep.rpcs.Load(), Errors: rep.errs.Load()}
+			if rs.RPCs > 0 {
+				rs.MeanUS = float64(rep.sumUS.Load()) / float64(rs.RPCs)
+			}
+			var trans uint64
+			rs.Breaker, rs.BreakerOpens, trans = rep.br.snapshot()
+			s.BreakerTransitions += trans
+			ss.Replicas[j] = rs
 		}
 		s.Shards[i] = ss
 	}
 	return s
 }
 
-// post issues one JSON RPC to a shard under the in-flight bound and the
-// per-shard timeout, decoding the reply into out.
-func (c *Client) post(ctx context.Context, shard int, path string, req, out interface{}) error {
-	select {
-	case c.sem <- struct{}{}:
-		defer func() { <-c.sem }()
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+// attempt is the outcome of one physical replica RPC.
+type attempt struct {
+	ri        int
+	hedge     bool
+	data      []byte
+	err       error
+	transient bool
+}
+
+// roundTrip issues one physical RPC to a replica under the per-attempt
+// timeout, returning the full (bounded) response body.
+func (c *Client) roundTrip(ctx context.Context, shard, ri int, path string, body []byte) ([]byte, error, bool) {
+	rep := c.groups[shard].replicas[ri]
 	rctx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
-	body, err := json.Marshal(req)
+	hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, rep.url+path, bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("shardkb: encode request: %w", err)
-	}
-	hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, c.urls[shard]+path, bytes.NewReader(body))
-	if err != nil {
-		return err
+		return nil, err, false
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 
 	c.rpcs.Add(1)
-	sc := &c.shards[shard]
-	sc.rpcs.Add(1)
+	rep.rpcs.Add(1)
 	t0 := time.Now()
 	resp, err := c.hc.Do(hreq)
-	sc.sumUS.Add(uint64(time.Since(t0).Microseconds()))
+	took := time.Since(t0)
+	rep.sumUS.Add(uint64(took.Microseconds()))
+	c.lat.Observe(took)
 	if err != nil {
-		sc.errs.Add(1)
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		sc.errs.Add(1)
-		var e serve.ErrorResponse
-		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("shardkb: shard %d: status %d: %s", shard, resp.StatusCode, e.Error)
+		if ctx.Err() != nil {
+			// The logical call is over (parent cancelled, or another
+			// replica already won a hedge race): not a replica failure.
+			return nil, ctx.Err(), false
 		}
-		return fmt.Errorf("shardkb: shard %d: status %d", shard, resp.StatusCode)
+		rep.errs.Add(1)
+		return nil, err, true // connection errors and attempt timeouts are transient
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		sc.errs.Add(1)
-		return fmt.Errorf("shardkb: shard %d: decode response: %w", shard, err)
+	defer func() {
+		// Drain any unread remainder (bounded) before close so the
+		// keep-alive connection goes back to the pool instead of being
+		// torn down after every response.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, drainLimit))
+		resp.Body.Close()
+	}()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, c.maxBody+1))
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err(), false
+		}
+		rep.errs.Add(1)
+		return nil, fmt.Errorf("read response: %w", err), true // torn body
 	}
-	return nil
+	if int64(len(data)) > c.maxBody {
+		rep.errs.Add(1)
+		return nil, fmt.Errorf("%w (> %d bytes)", errBodyTooLarge, c.maxBody), false
+	}
+	if resp.StatusCode != http.StatusOK {
+		rep.errs.Add(1)
+		transient := resp.StatusCode >= 500 ||
+			resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusRequestTimeout
+		var e serve.ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("status %d: %s", resp.StatusCode, e.Error), transient
+		}
+		return nil, fmt.Errorf("status %d", resp.StatusCode), transient
+	}
+	return data, nil, false
+}
+
+// probe launches the half-open /readyz probe that decides whether an
+// open breaker may close: a 200 restores the replica to service, any
+// failure re-opens it for another cooldown.
+func (c *Client) probe(shard, ri int) {
+	rep := c.groups[shard].replicas[ri]
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+		defer cancel()
+		ok := false
+		if req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/readyz", nil); err == nil {
+			if resp, err := c.hc.Do(req); err == nil {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+				resp.Body.Close()
+				ok = resp.StatusCode == http.StatusOK
+			}
+		}
+		if ok {
+			rep.br.onSuccess()
+		} else {
+			rep.br.onFailure(c.brThreshold, c.brCooldown, time.Now())
+		}
+	}()
+}
+
+// backoff returns the jittered exponential delay before retry number
+// `made` (1-based count of attempts already made).
+func (c *Client) backoff(made int) time.Duration {
+	d := c.retryBase << (made - 1)
+	if d > c.retryMax || d <= 0 {
+		d = c.retryMax
+	}
+	// Full jitter over [d/2, d): concurrent retries against a struggling
+	// replica spread out instead of stampeding in lockstep.
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half))
+}
+
+// currentHedgeDelay resolves the hedge trigger: a fixed delay if
+// configured, else the observed latency quantile once warmed up, else
+// hedging is off.
+func (c *Client) currentHedgeDelay() time.Duration {
+	if c.hedgeDelay > 0 {
+		return c.hedgeDelay
+	}
+	if c.hedgePct > 0 && c.lat.Summary().Count >= hedgeWarmup {
+		d := c.lat.Quantile(c.hedgePct)
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		return d
+	}
+	return 0
+}
+
+// call executes one logical RPC against a shard's replica group and
+// reports how many physical attempts it made: the
+// first attempt goes to the group's next replica in rotation, transient
+// failures retry on the following replicas with jittered exponential
+// backoff, a hedge may race a second replica when the first is slow
+// (first reply wins, the loser's context is cancelled), and every
+// outcome feeds the per-replica circuit breakers.
+func (c *Client) call(ctx context.Context, shard int, path string, req, out interface{}) (int, error) {
+	select {
+	case c.sem <- struct{}{}:
+		defer func() { <-c.sem }()
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, fmt.Errorf("shardkb: encode request: %w", err)
+	}
+	g := c.groups[shard]
+
+	// Candidate replicas in rotation order, filtered by breaker state.
+	// A breaker whose cooldown just expired gets its half-open /readyz
+	// probe launched here; until a probe succeeds the replica stays out
+	// of the candidate set.
+	start := int(g.next.Add(1))
+	now := time.Now()
+	order := make([]int, 0, len(g.replicas))
+	for i := range g.replicas {
+		ri := (start + i) % len(g.replicas)
+		ok, probe := g.replicas[ri].br.allow(c.brThreshold, now)
+		if probe {
+			c.probe(shard, ri)
+		}
+		if ok {
+			order = append(order, ri)
+		}
+	}
+	if len(order) == 0 {
+		return 0, fmt.Errorf("shardkb: shard %d (%s): circuit breakers open on all %d replicas",
+			shard, g.label(), len(g.replicas))
+	}
+	maxAttempts := c.maxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 2 * len(g.replicas)
+		if maxAttempts < 2 {
+			maxAttempts = 2
+		}
+		if maxAttempts > 4 {
+			maxAttempts = 4
+		}
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan attempt, maxAttempts)
+	launched, inflight := 0, 0
+	launch := func(hedge bool) {
+		ri := order[launched%len(order)]
+		launched++
+		inflight++
+		go func() {
+			data, err, transient := c.roundTrip(cctx, shard, ri, path, body)
+			results <- attempt{ri: ri, hedge: hedge, data: data, err: err, transient: transient}
+		}()
+	}
+	launch(false)
+
+	var hedgeCh <-chan time.Time
+	if d := c.currentHedgeDelay(); d > 0 && len(order) > 1 && maxAttempts > 1 {
+		ht := time.NewTimer(d)
+		defer ht.Stop()
+		hedgeCh = ht.C
+	}
+	var retryTimer *time.Timer
+	defer func() {
+		if retryTimer != nil {
+			retryTimer.Stop()
+		}
+	}()
+	var retryCh <-chan time.Time
+
+	var fails []string
+	for inflight > 0 || retryCh != nil {
+		select {
+		case <-ctx.Done():
+			return launched, ctx.Err()
+		case <-hedgeCh:
+			hedgeCh = nil
+			if launched < maxAttempts {
+				c.hedgesFired.Add(1)
+				launch(true)
+			}
+		case <-retryCh:
+			retryCh = nil
+			if launched < maxAttempts {
+				c.retries.Add(1)
+				launch(false)
+			}
+		case a := <-results:
+			inflight--
+			rep := g.replicas[a.ri]
+			if a.err == nil {
+				rep.br.onSuccess()
+				if a.hedge {
+					c.hedgesWon.Add(1)
+				}
+				// First reply wins: cancel any slower attempt still in
+				// flight before decoding.
+				cancel()
+				if err := json.Unmarshal(a.data, out); err != nil {
+					return launched, fmt.Errorf("shardkb: shard %d (%s): decode response: %w", shard, rep.url, err)
+				}
+				return launched, nil
+			}
+			if ctx.Err() != nil {
+				return launched, ctx.Err()
+			}
+			fails = append(fails, fmt.Sprintf("%s: %v", rep.url, a.err))
+			rep.br.onFailure(c.brThreshold, c.brCooldown, time.Now())
+			if !a.transient {
+				cancel()
+				return launched, fmt.Errorf("shardkb: shard %d: %s", shard, strings.Join(fails, "; "))
+			}
+			if launched < maxAttempts && retryCh == nil {
+				retryTimer = time.NewTimer(c.backoff(launched))
+				retryCh = retryTimer.C
+			}
+		}
+	}
+	return launched, fmt.Errorf("shardkb: shard %d: %s", shard, strings.Join(fails, "; "))
 }
 
 // decodeBindings converts a wire response into bindings: rows parse each
@@ -232,41 +670,45 @@ func decodeBindings(resp *serve.QueryResponse) ([]core.Binding, error) {
 }
 
 // Pattern executes one triple pattern across the shard tier. A
-// subject-constant pattern is routed to exactly one shard — the fast
-// path; anything else scatters to every shard concurrently and gathers
-// the merged bindings. limit caps the merged row count (0 = all).
+// subject-constant pattern is routed to exactly one shard group — the
+// fast path; anything else scatters to every group concurrently and
+// gathers the merged bindings. limit caps the merged row count (0 = all).
 func (c *Client) Pattern(ctx context.Context, p core.Pattern, limit int) (*Result, error) {
 	req := serve.QueryRequest{Patterns: []string{FormatPattern(p)}, Limit: limit}
-	if shard, ok := PatternShard(p, len(c.urls)); ok {
+	if shard, ok := PatternShard(p, len(c.groups)); ok {
 		c.fastPath.Add(1)
 		var resp serve.QueryResponse
-		if err := c.post(ctx, shard, "/query", req, &resp); err != nil {
+		attempts, err := c.call(ctx, shard, "/query", req, &resp)
+		if err != nil {
 			c.partialFailures.Add(1)
 			if c.allowPartial {
-				return &Result{Partial: true, RPCs: 1}, nil
+				return &Result{Partial: true, RPCs: attempts}, nil
 			}
-			return nil, fmt.Errorf("%w: shard %d (%s): %v", ErrPartial, shard, c.urls[shard], err)
+			return nil, fmt.Errorf("%w: shard %d (%s): %v", ErrPartial, shard, c.groups[shard].label(), err)
 		}
 		bs, err := decodeBindings(&resp)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Bindings: bs, RPCs: 1}, nil
+		return &Result{Bindings: bs, RPCs: attempts}, nil
 	}
 
 	c.scatters.Add(1)
 	type shardReply struct {
-		bs  []core.Binding
-		err error
+		bs       []core.Binding
+		attempts int
+		err      error
 	}
-	replies := make([]shardReply, len(c.urls))
+	replies := make([]shardReply, len(c.groups))
 	var wg sync.WaitGroup
-	for i := range c.urls {
+	for i := range c.groups {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			var resp serve.QueryResponse
-			if err := c.post(ctx, i, "/query", req, &resp); err != nil {
+			attempts, err := c.call(ctx, i, "/query", req, &resp)
+			replies[i].attempts = attempts
+			if err != nil {
 				replies[i].err = err
 				return
 			}
@@ -274,11 +716,14 @@ func (c *Client) Pattern(ctx context.Context, p core.Pattern, limit int) (*Resul
 		}(i)
 	}
 	wg.Wait()
-	res := &Result{RPCs: len(c.urls)}
+	res := &Result{}
+	for _, r := range replies {
+		res.RPCs += r.attempts
+	}
 	var failed []string
 	for i, r := range replies {
 		if r.err != nil {
-			failed = append(failed, fmt.Sprintf("shard %d (%s): %v", i, c.urls[i], r.err))
+			failed = append(failed, fmt.Sprintf("shard %d (%s): %v", i, c.groups[i].label(), r.err))
 			continue
 		}
 		res.Bindings = append(res.Bindings, r.bs...)
@@ -308,15 +753,15 @@ func (c *Client) Estimates(ctx context.Context, patterns []core.Pattern) ([]int,
 		lines[i] = FormatPattern(p)
 	}
 	req := serve.QueryRequest{Patterns: lines}
-	replies := make([]*serve.EstimateResponse, len(c.urls))
-	errs := make([]error, len(c.urls))
+	replies := make([]*serve.EstimateResponse, len(c.groups))
+	errs := make([]error, len(c.groups))
 	var wg sync.WaitGroup
-	for i := range c.urls {
+	for i := range c.groups {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			var resp serve.EstimateResponse
-			if err := c.post(ctx, i, "/estimate", req, &resp); err != nil {
+			if _, err := c.call(ctx, i, "/estimate", req, &resp); err != nil {
 				errs[i] = err
 				return
 			}
@@ -326,9 +771,9 @@ func (c *Client) Estimates(ctx context.Context, patterns []core.Pattern) ([]int,
 	wg.Wait()
 	sums := make([]int, len(patterns))
 	var failed []string
-	for i := range c.urls {
+	for i := range c.groups {
 		if errs[i] != nil {
-			failed = append(failed, fmt.Sprintf("shard %d (%s): %v", i, c.urls[i], errs[i]))
+			failed = append(failed, fmt.Sprintf("shard %d (%s): %v", i, c.groups[i].label(), errs[i]))
 			continue
 		}
 		if len(replies[i].Estimates) != len(patterns) {
@@ -345,47 +790,59 @@ func (c *Client) Estimates(ctx context.Context, patterns []core.Pattern) ([]int,
 	return sums, nil
 }
 
-// Ready health-checks every shard's /readyz. It returns per-shard
-// readiness (nil entries for unreachable or not-ready shards) and an
-// error naming every shard that is not ready to serve.
+// readyReplica fetches one replica's /readyz.
+func (c *Client) readyReplica(ctx context.Context, url string) (*serve.ReadyResponse, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, url+"/readyz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var rr serve.ReadyResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&rr); err != nil {
+		return nil, fmt.Errorf("decode /readyz: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("not ready (status %d, %d facts)", resp.StatusCode, rr.Facts)
+	}
+	return &rr, nil
+}
+
+// Ready health-checks the tier: a shard group is ready when at least one
+// of its replicas answers /readyz with a loaded snapshot (replicas of a
+// group serve the same partition). It returns per-shard readiness (nil
+// entries for groups with no ready replica) and an error naming every
+// such group.
 func (c *Client) Ready(ctx context.Context) ([]*serve.ReadyResponse, error) {
-	replies := make([]*serve.ReadyResponse, len(c.urls))
-	errs := make([]error, len(c.urls))
+	replies := make([]*serve.ReadyResponse, len(c.groups))
+	errs := make([]error, len(c.groups))
 	var wg sync.WaitGroup
-	for i := range c.urls {
+	for i := range c.groups {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rctx, cancel := context.WithTimeout(ctx, c.timeout)
-			defer cancel()
-			req, err := http.NewRequestWithContext(rctx, http.MethodGet, c.urls[i]+"/readyz", nil)
-			if err != nil {
-				errs[i] = err
-				return
+			var fails []string
+			for _, rep := range c.groups[i].replicas {
+				rr, err := c.readyReplica(ctx, rep.url)
+				if err == nil {
+					replies[i] = rr
+					return
+				}
+				fails = append(fails, fmt.Sprintf("%s: %v", rep.url, err))
 			}
-			resp, err := c.hc.Do(req)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			defer resp.Body.Close()
-			var rr serve.ReadyResponse
-			if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&rr); err != nil {
-				errs[i] = fmt.Errorf("decode /readyz: %w", err)
-				return
-			}
-			if resp.StatusCode != http.StatusOK {
-				errs[i] = fmt.Errorf("not ready (status %d, %d facts)", resp.StatusCode, rr.Facts)
-				return
-			}
-			replies[i] = &rr
+			errs[i] = errors.New(strings.Join(fails, "; "))
 		}(i)
 	}
 	wg.Wait()
 	var failed []string
 	for i, err := range errs {
 		if err != nil {
-			failed = append(failed, fmt.Sprintf("shard %d (%s): %v", i, c.urls[i], err))
+			failed = append(failed, fmt.Sprintf("shard %d: %v", i, err))
 		}
 	}
 	if len(failed) > 0 {

@@ -6,6 +6,16 @@
 // fanning everything else out concurrently with per-shard timeouts,
 // bounded in-flight RPCs, and an explicit partial-failure policy.
 //
+// Each shard may be a replica group (Options.Shards): replicas serve the
+// same partition, and the client rides out replica faults by retrying
+// transient failures (connection errors, 5xx, timeouts, torn bodies)
+// across replicas with jittered exponential backoff, optionally hedging
+// slow requests (first reply wins, the loser is cancelled), and wrapping
+// every replica in a circuit breaker that sheds traffic from a dead
+// replica until its half-open /readyz probe succeeds. Stats reports
+// retries, hedges fired/won, breaker transitions, and per-replica error
+// counts.
+//
 // The shard function is the contract between the builder and the router:
 // kbbuild -shards partitions facts with TripleShard, and the client pins
 // subject-constant patterns with PatternShard, so a point lookup lands on
